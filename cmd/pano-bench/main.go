@@ -1,0 +1,65 @@
+// Command pano-bench runs the paper's evaluation experiments and prints
+// each table/figure's rows.
+//
+// Usage:
+//
+//	pano-bench [-scale quick|paper] [-list] [experiment ids...]
+//
+// With no ids, every experiment runs in order. Ids match DESIGN.md §3:
+// fig1 fig3 fig4 fig6 fig7 fig8 fig10 fig13 fig14 fig15 fig16a fig16b
+// fig16c fig16d fig17a fig17b fig17c fig18a fig18b tab2 tab3 lut prune,
+// plus the extensions joint3 and crossuser. fig14 writes its snapshot
+// PNGs into ./fig14-out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pano/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "dataset scale: quick or paper")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var s experiments.Scale
+	switch *scale {
+	case "quick":
+		s = experiments.QuickScale()
+	case "paper":
+		s = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "pano-bench: unknown scale %q (quick|paper)\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	d := experiments.NewDataset(s)
+	exit := 0
+	for _, id := range ids {
+		start := time.Now()
+		table, err := experiments.Run(d, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pano-bench: %s: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		fmt.Print(table.String())
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	os.Exit(exit)
+}

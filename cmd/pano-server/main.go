@@ -1,0 +1,84 @@
+// Command pano-server serves an encoded 360° video over HTTP in the
+// DASH-compatible layout of §6.2: /manifest.json plus per-tile media
+// objects under /video/{chunk}/{tile}/{level}.bin.
+//
+// Usage:
+//
+//	pano-server [-addr :8360] [-manifest path.json]
+//	pano-server [-addr :8360] [-genre sports] [-seed 1] [-duration 30]
+//
+// With -manifest it serves a preprocessed manifest (e.g. produced by
+// pano-tracegen); otherwise it generates a synthetic video of the given
+// genre and preprocesses it on startup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"pano/internal/manifest"
+	"pano/internal/provider"
+	"pano/internal/scene"
+	"pano/internal/server"
+	"pano/internal/viewport"
+)
+
+func main() {
+	addr := flag.String("addr", ":8360", "listen address")
+	manPath := flag.String("manifest", "", "serve this preprocessed manifest JSON")
+	genre := flag.String("genre", "sports", "genre for the generated video")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	duration := flag.Int("duration", 10, "video duration in seconds")
+	flag.Parse()
+
+	var m *manifest.Video
+	if *manPath != "" {
+		f, err := os.Open(*manPath)
+		if err != nil {
+			log.Fatalf("pano-server: %v", err)
+		}
+		m2, err := manifest.Decode(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("pano-server: %v", err)
+		}
+		m = m2
+	} else {
+		g, err := parseGenre(*genre)
+		if err != nil {
+			log.Fatalf("pano-server: %v", err)
+		}
+		opts := scene.DefaultOptions()
+		opts.DurationSec = *duration
+		v := scene.Generate(g, *seed, opts)
+		log.Printf("generated %s (%dx%d@%d, %ds); preprocessing...", v.Name, v.W, v.H, v.FPS, v.DurationSec)
+		history := []*viewport.Trace{
+			viewport.Synthesize(v, *seed+1, viewport.DefaultSynthesizeOpts()),
+			viewport.Synthesize(v, *seed+2, viewport.DefaultSynthesizeOpts()),
+		}
+		m, err = provider.Preprocess(v, history, provider.DefaultConfig())
+		if err != nil {
+			log.Fatalf("pano-server: %v", err)
+		}
+	}
+	s, err := server.New(m)
+	if err != nil {
+		log.Fatalf("pano-server: %v", err)
+	}
+	log.Printf("serving %q (%d chunks, %d tiles/chunk) on %s",
+		m.Name, m.NumChunks(), len(m.Chunks[0].Tiles), *addr)
+	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+}
+
+func parseGenre(s string) (scene.Genre, error) {
+	for _, g := range scene.AllGenres() {
+		if strings.EqualFold(g.String(), s) {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown genre %q", s)
+}

@@ -1,0 +1,3 @@
+module pano
+
+go 1.22

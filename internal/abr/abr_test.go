@@ -1,0 +1,248 @@
+package abr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pano/internal/codec"
+	"pano/internal/mathx"
+)
+
+// randomTiles builds a plausible tile menu: bits decrease and cost
+// increases as the level index grows.
+func randomTiles(rng *mathx.RNG, n int) []TileChoice {
+	tiles := make([]TileChoice, n)
+	for i := range tiles {
+		base := rng.Range(1e4, 2e5)
+		cost := rng.Range(1, 30)
+		for l := 0; l < codec.NumLevels; l++ {
+			tiles[i].Bits[l] = base / math.Pow(1.8, float64(l))
+			tiles[i].Cost[l] = cost * math.Pow(2.2, float64(l))
+		}
+		tiles[i].Cost[0] = 0 // top level: no perceptible distortion
+	}
+	return tiles
+}
+
+func TestGreedyRespectsBudget(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	for trial := 0; trial < 20; trial++ {
+		tiles := randomTiles(rng, 30)
+		low := TotalBits(tiles, lowestLevels(30))
+		budget := low * rng.Range(1.0, 6.0)
+		a := AllocateGreedy(tiles, budget)
+		if got := TotalBits(tiles, a); got > budget+1e-6 {
+			t.Fatalf("trial %d: bits %v over budget %v", trial, got, budget)
+		}
+	}
+}
+
+func TestGreedyUsesSpareBudget(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	tiles := randomTiles(rng, 10)
+	top := TotalBits(tiles, make(Allocation, 10)) // all level 0
+	a := AllocateGreedy(tiles, top*2)
+	for i, l := range a {
+		if l != 0 {
+			t.Errorf("tile %d at level %v with unlimited budget", i, l)
+		}
+	}
+}
+
+func TestGreedyTightBudgetIsAllLowest(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	tiles := randomTiles(rng, 10)
+	a := AllocateGreedy(tiles, 1) // impossible budget
+	for _, l := range a {
+		if l != codec.Level(codec.NumLevels-1) {
+			t.Error("under impossible budget all tiles should be lowest")
+		}
+	}
+}
+
+func TestPrunedMatchesExhaustive(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	for trial := 0; trial < 15; trial++ {
+		tiles := randomTiles(rng, 6)
+		low := TotalBits(tiles, lowestLevels(6))
+		budget := low * rng.Range(1.2, 4.0)
+		want, err := AllocateExhaustive(tiles, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := AllocatePruned(tiles, budget, 0)
+		wc, gc := TotalCost(tiles, want), TotalCost(tiles, got)
+		if TotalBits(tiles, got) > budget+1e-6 {
+			t.Fatalf("trial %d: pruned over budget", trial)
+		}
+		if gc > wc*1.0001+1e-9 {
+			t.Errorf("trial %d: pruned cost %v > exhaustive %v", trial, gc, wc)
+		}
+	}
+}
+
+func TestGreedyNearOptimal(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	var worst float64 = 1
+	for trial := 0; trial < 15; trial++ {
+		tiles := randomTiles(rng, 7)
+		low := TotalBits(tiles, lowestLevels(7))
+		budget := low * rng.Range(1.5, 3.0)
+		opt, err := AllocateExhaustive(tiles, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := AllocateGreedy(tiles, budget)
+		oc, gc := TotalCost(tiles, opt), TotalCost(tiles, g)
+		if oc > 0 {
+			if r := gc / oc; r > worst {
+				worst = r
+			}
+		}
+	}
+	if worst > 1.6 {
+		t.Errorf("greedy worst-case ratio %v vs optimal, want < 1.6", worst)
+	}
+}
+
+func TestPrunedRespectsBudgetLargeInstance(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	tiles := randomTiles(rng, 60)
+	low := TotalBits(tiles, lowestLevels(60))
+	budget := low * 2.5
+	a := AllocatePruned(tiles, budget, 0)
+	if TotalBits(tiles, a) > budget+1e-6 {
+		t.Fatal("over budget")
+	}
+	// Must beat or match greedy (it is closer to exact).
+	g := AllocateGreedy(tiles, budget)
+	if TotalCost(tiles, a) > TotalCost(tiles, g)*1.05+1e-9 {
+		t.Errorf("pruned cost %v worse than greedy %v", TotalCost(tiles, a), TotalCost(tiles, g))
+	}
+}
+
+func TestPrunedPropertyNeverOverBudget(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 2 + rng.Intn(20)
+		tiles := randomTiles(rng, n)
+		low := TotalBits(tiles, lowestLevels(n))
+		budget := low * rng.Range(0.5, 5)
+		a := AllocatePruned(tiles, budget, 256)
+		if len(a) != n {
+			return false
+		}
+		// Below the all-lowest size nothing fits: the fallback is
+		// all-lowest, which may exceed the budget by necessity.
+		if budget >= low {
+			return TotalBits(tiles, a) <= budget+1e-6
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExhaustiveRejectsLargeN(t *testing.T) {
+	tiles := make([]TileChoice, 11)
+	if _, err := AllocateExhaustive(tiles, 1e9); err == nil {
+		t.Error("want error for n > 10")
+	}
+}
+
+func TestAllocateEmpty(t *testing.T) {
+	if a := AllocatePruned(nil, 100, 0); a != nil {
+		t.Error("empty tiles should yield nil allocation")
+	}
+	if a := AllocateGreedy(nil, 100); len(a) != 0 {
+		t.Error("empty greedy should be empty")
+	}
+}
+
+func TestMPCPrefersHighQualityWithFatPipe(t *testing.T) {
+	m := NewMPC(2)
+	plans := make([]ChunkPlan, 3)
+	for i := range plans {
+		for l := 0; l < codec.NumLevels; l++ {
+			plans[i].Bits[l] = 1e6 / math.Pow(2, float64(l))
+			plans[i].Quality[l] = 80 - 10*float64(l)
+		}
+	}
+	// 100 Mbps: downloads are instant; the controller should max out.
+	if got := m.PickLevel(2, 100e6, 1, -1, plans); got != 0 {
+		t.Errorf("fat pipe level = %v, want 0", got)
+	}
+	// 100 kbps: even the lowest level takes ~0.6 s per chunk.
+	if got := m.PickLevel(0.5, 100e3, 1, -1, plans); got != codec.Level(codec.NumLevels-1) {
+		t.Errorf("starved level = %v, want lowest", got)
+	}
+}
+
+func TestMPCAvoidsRebuffering(t *testing.T) {
+	m := NewMPC(2)
+	plans := make([]ChunkPlan, 3)
+	for i := range plans {
+		for l := 0; l < codec.NumLevels; l++ {
+			plans[i].Bits[l] = 4e6 / math.Pow(2, float64(l))
+			plans[i].Quality[l] = 80 - 8*float64(l)
+		}
+	}
+	// 2 Mbps with a thin buffer: level 0 (4e6 bits = 2 s download)
+	// would stall; the controller must back off.
+	got := m.PickLevel(0.8, 2e6, 1, -1, plans)
+	if got == 0 {
+		t.Error("controller picked a stalling level")
+	}
+}
+
+func TestMPCSwitchPenaltySmoothes(t *testing.T) {
+	m := NewMPC(2)
+	m.SwitchPenalty = 100 // draconian
+	plans := make([]ChunkPlan, 3)
+	for i := range plans {
+		for l := 0; l < codec.NumLevels; l++ {
+			plans[i].Bits[l] = 1e5
+			plans[i].Quality[l] = 80 - float64(l)
+		}
+	}
+	// All levels equal in size; previous level was 3. A huge switch
+	// penalty should hold the controller at 3 despite slightly better
+	// quality at 0.
+	if got := m.PickLevel(2, 10e6, 1, 3, plans); got != 3 {
+		t.Errorf("level = %v, want 3 under heavy switch penalty", got)
+	}
+}
+
+func TestMPCEmptyHorizon(t *testing.T) {
+	m := NewMPC(2)
+	if got := m.PickLevel(1, 1e6, 1, -1, nil); got != codec.Level(codec.NumLevels-1) {
+		t.Errorf("empty horizon level = %v, want lowest", got)
+	}
+}
+
+func TestBandwidthPredictorHarmonicMean(t *testing.T) {
+	p := NewBandwidthPredictor()
+	if p.Predict() != 0 {
+		t.Error("no history should predict 0")
+	}
+	p.Observe(1e6)
+	p.Observe(4e6)
+	// Harmonic mean of 1 and 4 Mbps = 1.6 Mbps.
+	if got := p.Predict(); math.Abs(got-1.6e6) > 1 {
+		t.Errorf("harmonic mean = %v, want 1.6e6", got)
+	}
+	// Window slides.
+	p.Window = 2
+	p.Observe(4e6)
+	p.Observe(4e6)
+	if got := p.Predict(); math.Abs(got-4e6) > 1 {
+		t.Errorf("windowed mean = %v, want 4e6", got)
+	}
+	// Non-positive observations ignored.
+	p.Observe(-5)
+	if got := p.Predict(); math.Abs(got-4e6) > 1 {
+		t.Error("negative observation should be ignored")
+	}
+}

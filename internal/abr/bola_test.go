@@ -1,0 +1,68 @@
+package abr
+
+import (
+	"math"
+	"testing"
+
+	"pano/internal/codec"
+)
+
+func bolaPlan() []ChunkPlan {
+	p := ChunkPlan{}
+	for l := 0; l < codec.NumLevels; l++ {
+		p.Bits[l] = 1e6 / math.Pow(1.8, float64(l))
+		p.Quality[l] = float64(codec.NumLevels - l)
+	}
+	return []ChunkPlan{p}
+}
+
+func TestBOLAEmptyBufferPicksLowest(t *testing.T) {
+	b := NewBOLA(6)
+	if got := b.PickLevel(0, 0, 1, -1, bolaPlan()); got != codec.Level(codec.NumLevels-1) {
+		t.Errorf("empty buffer level = %v, want lowest", got)
+	}
+}
+
+func TestBOLAFullBufferPicksHighest(t *testing.T) {
+	b := NewBOLA(6)
+	if got := b.PickLevel(6, 0, 1, -1, bolaPlan()); got != 0 {
+		t.Errorf("full buffer level = %v, want 0", got)
+	}
+}
+
+func TestBOLAMonotoneInBuffer(t *testing.T) {
+	b := NewBOLA(6)
+	prev := codec.Level(codec.NumLevels)
+	for buf := 0.0; buf <= 6; buf += 0.5 {
+		got := b.PickLevel(buf, 0, 1, -1, bolaPlan())
+		if got > prev {
+			t.Fatalf("level worsened from %v to %v as buffer grew to %v", prev, got, buf)
+		}
+		prev = got
+	}
+}
+
+func TestBOLADegenerateInputs(t *testing.T) {
+	b := NewBOLA(6)
+	lowest := codec.Level(codec.NumLevels - 1)
+	if b.PickLevel(3, 0, 1, -1, nil) != lowest {
+		t.Error("empty horizon should pick lowest")
+	}
+	if b.PickLevel(3, 0, 0, -1, bolaPlan()) != lowest {
+		t.Error("zero chunk duration should pick lowest")
+	}
+	var zero ChunkPlan
+	if b.PickLevel(3, 0, 1, -1, []ChunkPlan{zero}) != lowest {
+		t.Error("zero-size plan should pick lowest")
+	}
+}
+
+func TestControllersShareInterface(t *testing.T) {
+	var cs []Controller = []Controller{NewMPC(2), NewBOLA(4)}
+	for _, c := range cs {
+		l := c.PickLevel(2, 1e6, 1, -1, bolaPlan())
+		if !l.Valid() {
+			t.Errorf("%T returned invalid level %v", c, l)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package client implements the HTTP streaming client of §7: it fetches
+// the manifest, runs the same MPC + tile-level adaptation loop as the
+// simulator against a real HTTP server over a persistent connection,
+// measures throughput from its own downloads, and stitches per-tile
+// buffers into panoramic frames with row-major copies.
+package client
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"pano/internal/abr"
+	"pano/internal/codec"
+	"pano/internal/frame"
+	"pano/internal/manifest"
+	"pano/internal/player"
+	"pano/internal/server"
+	"pano/internal/viewport"
+)
+
+// Client streams one video from a Pano HTTP server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the underlying client; http.DefaultClient if nil.
+	HTTP *http.Client
+}
+
+// New returns a client for the given base URL with a dedicated
+// transport (persistent connections, as in §7).
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL: baseURL,
+		HTTP: &http.Client{
+			Transport: &http.Transport{MaxIdleConnsPerHost: 4},
+			Timeout:   30 * time.Second,
+		},
+	}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP == nil {
+		return http.DefaultClient
+	}
+	return c.HTTP
+}
+
+// FetchManifest downloads and validates the manifest.
+func (c *Client) FetchManifest(ctx context.Context) (*manifest.Video, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/manifest.json", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: manifest: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: manifest: HTTP %d", resp.StatusCode)
+	}
+	m, err := manifest.Decode(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return m, nil
+}
+
+// FetchTile downloads one tile object and verifies its header.
+func (c *Client) FetchTile(ctx context.Context, k, ti int, l codec.Level) ([]byte, error) {
+	url := c.BaseURL + server.TilePath(k, ti, l)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: tile %d/%d/%d: %w", k, ti, int(l), err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: tile %d/%d/%d: HTTP %d", k, ti, int(l), resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 16 {
+		return nil, fmt.Errorf("client: tile %d/%d/%d: short object (%d bytes)", k, ti, int(l), len(data))
+	}
+	if gk := binary.BigEndian.Uint32(data[0:]); int(gk) != k {
+		return nil, fmt.Errorf("client: tile %d/%d/%d: header chunk mismatch %d", k, ti, int(l), gk)
+	}
+	if gt := binary.BigEndian.Uint32(data[4:]); int(gt) != ti {
+		return nil, fmt.Errorf("client: tile %d/%d/%d: header tile mismatch %d", k, ti, int(l), gt)
+	}
+	return data, nil
+}
+
+// ChunkResult records one chunk's streaming outcome.
+type ChunkResult struct {
+	Chunk      int
+	Levels     abr.Allocation
+	Bytes      int
+	Download   time.Duration
+	Throughput float64 // bits/s measured from this chunk
+}
+
+// StreamConfig tunes a streaming session.
+type StreamConfig struct {
+	// BufferTargetSec is the MPC target (default 2).
+	BufferTargetSec float64
+	// Planner decides per-tile levels (default Pano's).
+	Planner player.Planner
+	// MaxChunks limits the session length (0 = whole video).
+	MaxChunks int
+	// MaxRateBps caps the bandwidth estimate fed to the controller,
+	// emulating a shaped link when the real transport (e.g. loopback)
+	// is effectively unbounded. 0 = no cap.
+	MaxRateBps float64
+}
+
+// StreamResult summarizes an HTTP streaming session.
+type StreamResult struct {
+	Manifest *manifest.Video
+	Chunks   []ChunkResult
+	// StartupDelay is manifest fetch + first chunk download.
+	StartupDelay time.Duration
+	TotalBytes   int
+}
+
+// Stream runs a full adaptive session: fetch manifest, then per chunk
+// run MPC + the planner, fetch every tile at its chosen level, and
+// account throughput. The viewpoint trace plays the role of the HMD
+// sensor feed.
+func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfig) (*StreamResult, error) {
+	if cfg.BufferTargetSec == 0 {
+		cfg.BufferTargetSec = 2
+	}
+	if cfg.Planner == nil {
+		cfg.Planner = player.NewPanoPlanner()
+	}
+	start := time.Now()
+	m, err := c.FetchManifest(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res := &StreamResult{Manifest: m}
+	est := player.NewEstimator()
+	mpc := abr.NewMPC(cfg.BufferTargetSec)
+	bw := abr.NewBandwidthPredictor()
+	n := m.NumChunks()
+	if cfg.MaxChunks > 0 && cfg.MaxChunks < n {
+		n = cfg.MaxChunks
+	}
+	var buffer float64
+	prev := codec.Level(-1)
+	for k := 0; k < n; k++ {
+		nowMedia := float64(k)*m.ChunkSec - buffer
+		if nowMedia < 0 {
+			nowMedia = 0
+		}
+		var budget float64
+		pred := bw.Predict()
+		if cfg.MaxRateBps > 0 && pred > cfg.MaxRateBps {
+			pred = cfg.MaxRateBps
+		}
+		if pred == 0 {
+			budget = m.ChunkBits(k, codec.Level(codec.NumLevels-1))
+		} else {
+			horizon := make([]abr.ChunkPlan, 0, mpc.Horizon)
+			for j := k; j < k+mpc.Horizon && j < m.NumChunks(); j++ {
+				var p abr.ChunkPlan
+				for l := 0; l < codec.NumLevels; l++ {
+					p.Bits[l] = m.ChunkBits(j, codec.Level(l))
+					p.Quality[l] = float64(codec.NumLevels - l)
+				}
+				horizon = append(horizon, p)
+			}
+			lv := mpc.PickLevel(buffer, pred, m.ChunkSec, prev, horizon)
+			budget = m.ChunkBits(k, lv)
+			prev = lv
+		}
+		view := est.View(m, tr, k, nowMedia)
+		alloc := cfg.Planner.Plan(m, k, view, budget)
+
+		t0 := time.Now()
+		bytes := 0
+		for ti, l := range alloc {
+			data, err := c.FetchTile(ctx, k, ti, l)
+			if err != nil {
+				return nil, err
+			}
+			bytes += len(data)
+		}
+		dl := time.Since(t0)
+		if dl <= 0 {
+			dl = time.Microsecond
+		}
+		thr := float64(bytes*8) / dl.Seconds()
+		bw.Observe(thr)
+		res.Chunks = append(res.Chunks, ChunkResult{
+			Chunk: k, Levels: alloc, Bytes: bytes, Download: dl, Throughput: thr,
+		})
+		res.TotalBytes += bytes
+		if k == 0 {
+			res.StartupDelay = time.Since(start)
+		}
+		buffer = buffer - dl.Seconds()
+		if buffer < 0 {
+			buffer = 0
+		}
+		buffer += m.ChunkSec
+	}
+	return res, nil
+}
+
+// Stitch assembles per-tile luma buffers into a panoramic frame using
+// the tile coordinates from the manifest — the row-major in-memory copy
+// of §7. Missing tiles are left at their previous content (zero for a
+// fresh frame).
+func Stitch(m *manifest.Video, k int, tiles map[int]*frame.Frame, dst *frame.Frame) error {
+	if dst.W != m.W || dst.H != m.H {
+		return fmt.Errorf("client: stitch target %dx%d, want %dx%d", dst.W, dst.H, m.W, m.H)
+	}
+	if k < 0 || k >= m.NumChunks() {
+		return fmt.Errorf("client: stitch chunk %d out of range", k)
+	}
+	for ti, tf := range tiles {
+		if ti < 0 || ti >= len(m.Chunks[k].Tiles) {
+			return fmt.Errorf("client: stitch tile %d out of range", ti)
+		}
+		r := m.Chunks[k].Tiles[ti].Rect
+		if tf.W != r.W() || tf.H != r.H() {
+			return fmt.Errorf("client: tile %d buffer %dx%d, rect %v", ti, tf.W, tf.H, r)
+		}
+		if err := dst.Blit(tf, r.X0, r.Y0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"pano/internal/codec"
+	"pano/internal/frame"
+	"pano/internal/manifest"
+	"pano/internal/player"
+	"pano/internal/provider"
+	"pano/internal/scene"
+	"pano/internal/server"
+	"pano/internal/viewport"
+)
+
+type fixtureT struct {
+	man *manifest.Video
+	tr  *viewport.Trace
+}
+
+var (
+	fxOnce sync.Once
+	fx     fixtureT
+)
+
+func fixture(t *testing.T) *fixtureT {
+	t.Helper()
+	fxOnce.Do(func() {
+		v := scene.Generate(scene.Tourism, 41, scene.Options{W: 240, H: 120, FPS: 10, DurationSec: 3})
+		tr := viewport.Synthesize(v, 2, viewport.DefaultSynthesizeOpts())
+		m, err := provider.Preprocess(v, []*viewport.Trace{tr}, provider.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		fx = fixtureT{man: m, tr: tr}
+	})
+	return &fx
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := server.New(fixture(t).man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestFetchManifest(t *testing.T) {
+	ts := testServer(t)
+	c := New(ts.URL)
+	m, err := c.FetchManifest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumChunks() != fixture(t).man.NumChunks() {
+		t.Error("manifest mismatch")
+	}
+}
+
+func TestFetchManifestBadServer(t *testing.T) {
+	c := New("http://127.0.0.1:1") // nothing listens
+	if _, err := c.FetchManifest(context.Background()); err == nil {
+		t.Error("unreachable server should error")
+	}
+}
+
+func TestFetchTileVerifiesHeader(t *testing.T) {
+	ts := testServer(t)
+	c := New(ts.URL)
+	data, err := c.FetchTile(context.Background(), 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := server.TileSizeBytes(&fixture(t).man.Chunks[0].Tiles[1], 2)
+	if len(data) != want && len(data) != 16 {
+		t.Errorf("tile size %d, want %d", len(data), want)
+	}
+	if _, err := c.FetchTile(context.Background(), 0, 9999, 2); err == nil {
+		t.Error("missing tile should error")
+	}
+}
+
+func TestStreamEndToEnd(t *testing.T) {
+	ts := testServer(t)
+	c := New(ts.URL)
+	f := fixture(t)
+	res, err := c.Stream(context.Background(), f.tr, StreamConfig{Planner: player.NewPanoPlanner()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) != f.man.NumChunks() {
+		t.Fatalf("streamed %d chunks, want %d", len(res.Chunks), f.man.NumChunks())
+	}
+	if res.TotalBytes <= 0 {
+		t.Error("no bytes streamed")
+	}
+	if res.StartupDelay <= 0 {
+		t.Error("no startup delay recorded")
+	}
+	for _, ch := range res.Chunks {
+		if len(ch.Levels) != len(f.man.Chunks[ch.Chunk].Tiles) {
+			t.Fatalf("chunk %d: %d levels", ch.Chunk, len(ch.Levels))
+		}
+		if ch.Throughput <= 0 {
+			t.Errorf("chunk %d: throughput %v", ch.Chunk, ch.Throughput)
+		}
+	}
+}
+
+func TestStreamMaxChunks(t *testing.T) {
+	ts := testServer(t)
+	c := New(ts.URL)
+	res, err := c.Stream(context.Background(), fixture(t).tr, StreamConfig{MaxChunks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) != 1 {
+		t.Errorf("chunks = %d, want 1", len(res.Chunks))
+	}
+}
+
+func TestStreamRateCapConstrainsQuality(t *testing.T) {
+	ts := testServer(t)
+	f := fixture(t)
+	// Uncapped loopback saturates at the top level; a tight cap must
+	// push the controller to cheaper levels.
+	capped, err := New(ts.URL).Stream(context.Background(), f.tr, StreamConfig{
+		MaxRateBps: 0.15 * topRate(f.man),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := New(ts.URL).Stream(context.Background(), f.tr, StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.TotalBytes >= free.TotalBytes {
+		t.Errorf("capped session bytes %d should be below uncapped %d",
+			capped.TotalBytes, free.TotalBytes)
+	}
+}
+
+func topRate(m *manifest.Video) float64 {
+	var bits float64
+	for k := 0; k < m.NumChunks(); k++ {
+		bits += m.ChunkBits(k, 0)
+	}
+	return bits / m.DurationSec()
+}
+
+func TestStreamCancellation(t *testing.T) {
+	ts := testServer(t)
+	c := New(ts.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Stream(ctx, fixture(t).tr, StreamConfig{}); err == nil {
+		t.Error("cancelled context should error")
+	}
+}
+
+func TestStitch(t *testing.T) {
+	f := fixture(t)
+	m := f.man
+	dst := frame.New(m.W, m.H)
+	tiles := map[int]*frame.Frame{}
+	for ti, tl := range m.Chunks[0].Tiles {
+		tf := frame.New(tl.Rect.W(), tl.Rect.H())
+		tf.Fill(uint8(40 + 5*ti))
+		tiles[ti] = tf
+	}
+	if err := Stitch(m, 0, tiles, dst); err != nil {
+		t.Fatal(err)
+	}
+	// Every tile's region carries its fill value.
+	for ti, tl := range m.Chunks[0].Tiles {
+		if got := dst.At(tl.Rect.X0, tl.Rect.Y0); got != uint8(40+5*ti) {
+			t.Fatalf("tile %d region has %d", ti, got)
+		}
+	}
+}
+
+func TestStitchErrors(t *testing.T) {
+	f := fixture(t)
+	m := f.man
+	dst := frame.New(m.W, m.H)
+	if err := Stitch(m, 99, nil, dst); err == nil {
+		t.Error("bad chunk should error")
+	}
+	if err := Stitch(m, 0, map[int]*frame.Frame{999: frame.New(2, 2)}, dst); err == nil {
+		t.Error("bad tile index should error")
+	}
+	if err := Stitch(m, 0, map[int]*frame.Frame{0: frame.New(1, 1)}, dst); err == nil {
+		t.Error("mis-sized tile should error")
+	}
+	if err := Stitch(m, 0, nil, frame.New(3, 3)); err == nil {
+		t.Error("mis-sized target should error")
+	}
+}
+
+func TestLevelsWithinRange(t *testing.T) {
+	ts := testServer(t)
+	c := New(ts.URL)
+	res, err := c.Stream(context.Background(), fixture(t).tr, StreamConfig{BufferTargetSec: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range res.Chunks {
+		for _, l := range ch.Levels {
+			if !l.Valid() {
+				t.Fatalf("invalid level %v", l)
+			}
+		}
+	}
+	_ = codec.NumLevels
+}

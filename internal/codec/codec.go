@@ -1,0 +1,218 @@
+// Package codec simulates a tile-based 360° video encoder.
+//
+// The paper encodes tiles with x264 at five QP levels {22,27,32,37,42}
+// (§8.1). This package substitutes a block-transform quantization model
+// that preserves the two encoder properties Pano's design depends on:
+//
+//  1. Rate–distortion: bits fall and distortion grows as QP rises, with
+//     busier (high-variance, fast-moving) content costing more bits and
+//     distorting more at a given QP. Distorted pixels are actually
+//     produced, so PSNR/PSPNR downstream are measured, not assumed.
+//  2. Tiling overhead: each tile pays a fixed header and loses spatial
+//     prediction at its boundary blocks, so fine grids inflate the total
+//     size (Figure 4).
+//
+// The model is intra-frame per block plus a temporal-activity scaling
+// across a chunk's frames, standing in for inter prediction.
+package codec
+
+import (
+	"fmt"
+	"math"
+
+	"pano/internal/frame"
+	"pano/internal/geom"
+)
+
+// QPLevels are the five quantization-parameter operating points used
+// throughout the evaluation, ordered from highest quality to lowest.
+var QPLevels = [...]int{22, 27, 32, 37, 42}
+
+// NumLevels is the number of quality levels per tile.
+const NumLevels = len(QPLevels)
+
+// Level indexes a quality level: 0 is the highest quality (QP 22),
+// NumLevels-1 the lowest (QP 42).
+type Level int
+
+// QP returns the quantization parameter for the level.
+func (l Level) QP() int {
+	if l < 0 {
+		l = 0
+	}
+	if int(l) >= NumLevels {
+		l = Level(NumLevels - 1)
+	}
+	return QPLevels[l]
+}
+
+// Valid reports whether the level is within range.
+func (l Level) Valid() bool { return l >= 0 && int(l) < NumLevels }
+
+// String implements fmt.Stringer.
+func (l Level) String() string { return fmt.Sprintf("L%d(QP%d)", int(l), l.QP()) }
+
+// QStep returns the quantization step size for a QP, following the
+// H.264 relationship Δ ≈ 2^((QP-4)/6).
+func QStep(qp int) float64 {
+	return math.Pow(2, float64(qp-4)/6)
+}
+
+// Encoder models the tile encoder. The zero value is not usable; call
+// NewEncoder.
+type Encoder struct {
+	// BlockSize is the transform block size in pixels.
+	BlockSize int
+	// HeaderBits is the fixed per-tile per-chunk overhead (headers,
+	// parameter sets, segment addressing).
+	HeaderBits float64
+	// BoundaryPenalty multiplies the bit cost of blocks on a tile
+	// boundary, which lose cross-block prediction.
+	BoundaryPenalty float64
+	// TemporalFloor and TemporalCeil bound the per-frame cost of
+	// non-key frames relative to the key frame, as a function of how
+	// much of the tile changes between frames.
+	TemporalFloor float64
+	TemporalCeil  float64
+}
+
+// NewEncoder returns an encoder with the calibration used across the
+// repository (see DESIGN.md §4).
+func NewEncoder() *Encoder {
+	return &Encoder{
+		BlockSize:       4,
+		HeaderBits:      120,
+		BoundaryPenalty: 1.55,
+		TemporalFloor:   0.05,
+		TemporalCeil:    0.5,
+	}
+}
+
+// DistortRegion returns a copy of region r of f with the quantization
+// distortion of the given QP applied. The region must lie within f.
+func (e *Encoder) DistortRegion(f *frame.Frame, r geom.Rect, qp int) (*frame.Frame, error) {
+	sub, err := f.Region(r)
+	if err != nil {
+		return nil, err
+	}
+	e.distortInPlace(sub, qp)
+	return sub, nil
+}
+
+// distortInPlace applies block quantization to an owned frame.
+func (e *Encoder) distortInPlace(f *frame.Frame, qp int) {
+	step := QStep(qp)
+	dcStep := step / 2
+	b := e.BlockSize
+	for by := 0; by < f.H; by += b {
+		for bx := 0; bx < f.W; bx += b {
+			r := geom.Rect{X0: bx, Y0: by, X1: minInt(bx+b, f.W), Y1: minInt(by+b, f.H)}
+			mean := f.MeanLuma(r)
+			qMean := math.Round(mean/dcStep) * dcStep
+			for y := r.Y0; y < r.Y1; y++ {
+				for x := r.X0; x < r.X1; x++ {
+					p := float64(f.At(x, y))
+					res := p - mean
+					qRes := math.Round(res/step) * step
+					f.Set(x, y, clampPix(qMean+qRes))
+				}
+			}
+		}
+	}
+}
+
+// blockBits estimates the bit cost of one block at the given step, from
+// its residual levels: ~2*log2(|level|+1)+1 bits per nonzero coefficient
+// plus a small DC cost. boundary marks blocks on the tile edge.
+func (e *Encoder) blockBits(f *frame.Frame, r geom.Rect, step float64, boundary bool) float64 {
+	mean := f.MeanLuma(r)
+	bits := 4.0 // quantized DC / mode signalling
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			level := math.Round((float64(f.At(x, y)) - mean) / step)
+			if level != 0 {
+				bits += 2*math.Log2(math.Abs(level)+1) + 1
+			}
+		}
+	}
+	if boundary {
+		bits *= e.BoundaryPenalty
+	}
+	return bits
+}
+
+// FrameRegionBits estimates the intra bit cost of encoding region r of
+// frame f at the given QP, treating r as one tile (boundary blocks pay
+// the prediction-loss penalty). The per-tile header is not included.
+func (e *Encoder) FrameRegionBits(f *frame.Frame, r geom.Rect, qp int) float64 {
+	step := QStep(qp)
+	b := e.BlockSize
+	var bits float64
+	for by := r.Y0; by < r.Y1; by += b {
+		for bx := r.X0; bx < r.X1; bx += b {
+			blk := geom.Rect{X0: bx, Y0: by, X1: minInt(bx+b, r.X1), Y1: minInt(by+b, r.Y1)}
+			boundary := bx == r.X0 || by == r.Y0 || bx+b >= r.X1 || by+b >= r.Y1
+			bits += e.blockBits(f, blk, step, boundary)
+		}
+	}
+	return bits
+}
+
+// TemporalActivity returns the fraction of pixels in region r that
+// change by more than a small threshold between two frames, clamped to
+// the encoder's temporal bounds. It scales the non-key-frame cost.
+func (e *Encoder) TemporalActivity(a, b *frame.Frame, r geom.Rect) float64 {
+	const thresh = 6
+	changed, total := 0, 0
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			d := int(a.At(x, y)) - int(b.At(x, y))
+			if d < 0 {
+				d = -d
+			}
+			if d > thresh {
+				changed++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return e.TemporalFloor
+	}
+	act := float64(changed) / float64(total)
+	if act < e.TemporalFloor {
+		act = e.TemporalFloor
+	}
+	if act > e.TemporalCeil {
+		act = e.TemporalCeil
+	}
+	return act
+}
+
+// TileChunkBits estimates the total bit cost of one tile over one chunk:
+// header + key-frame cost + (frames-1) inter frames scaled by temporal
+// activity. key is the chunk's first frame; next is a later frame used
+// to estimate activity (pass key again for a static estimate).
+func (e *Encoder) TileChunkBits(key, next *frame.Frame, r geom.Rect, qp int, framesPerChunk int) float64 {
+	intra := e.FrameRegionBits(key, r, qp)
+	act := e.TemporalActivity(key, next, r)
+	inter := intra * act * float64(framesPerChunk-1)
+	return e.HeaderBits + intra + inter
+}
+
+func clampPix(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(math.Round(v))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

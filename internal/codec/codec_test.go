@@ -1,0 +1,193 @@
+package codec
+
+import (
+	"math"
+	"testing"
+
+	"pano/internal/frame"
+	"pano/internal/geom"
+	"pano/internal/scene"
+)
+
+func testVideo() *scene.Video {
+	return scene.Generate(scene.Sports, 7, scene.Options{W: 240, H: 120, FPS: 10, DurationSec: 2})
+}
+
+func TestLevelQP(t *testing.T) {
+	want := []int{22, 27, 32, 37, 42}
+	for i, qp := range want {
+		if Level(i).QP() != qp {
+			t.Errorf("Level(%d).QP() = %d, want %d", i, Level(i).QP(), qp)
+		}
+	}
+	if Level(-1).QP() != 22 || Level(99).QP() != 42 {
+		t.Error("out-of-range levels should clamp")
+	}
+	if Level(0).Valid() != true || Level(5).Valid() != false {
+		t.Error("Valid misbehaves")
+	}
+}
+
+func TestQStepMonotone(t *testing.T) {
+	prev := 0.0
+	for qp := 0; qp <= 51; qp++ {
+		s := QStep(qp)
+		if s <= prev {
+			t.Fatalf("QStep not increasing at qp=%d", qp)
+		}
+		prev = s
+	}
+	// Doubles every 6 QP.
+	if math.Abs(QStep(28)/QStep(22)-2) > 1e-9 {
+		t.Error("QStep should double per 6 QP")
+	}
+}
+
+func TestDistortionGrowsWithQP(t *testing.T) {
+	v := testVideo()
+	f := v.RenderFrame(0)
+	r := geom.Rect{X1: f.W, Y1: f.H}
+	e := NewEncoder()
+	var prev float64 = -1
+	for _, qp := range QPLevels {
+		enc, err := e.DistortRegion(f, r, qp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, _ := f.Region(r)
+		mse, err := frame.MSE(sub, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mse <= prev {
+			t.Errorf("MSE at QP%d = %v not greater than previous %v", qp, mse, prev)
+		}
+		prev = mse
+	}
+}
+
+func TestBitsFallWithQP(t *testing.T) {
+	v := testVideo()
+	f := v.RenderFrame(0)
+	r := geom.Rect{X1: f.W, Y1: f.H}
+	e := NewEncoder()
+	prev := math.Inf(1)
+	for _, qp := range QPLevels {
+		bits := e.FrameRegionBits(f, r, qp)
+		if bits >= prev {
+			t.Errorf("bits at QP%d = %v, not less than %v", qp, bits, prev)
+		}
+		if bits <= 0 {
+			t.Errorf("bits at QP%d = %v, want positive", qp, bits)
+		}
+		prev = bits
+	}
+}
+
+func TestTexturedContentCostsMore(t *testing.T) {
+	flat := frame.New(64, 64)
+	flat.Fill(128)
+	busy := frame.New(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			busy.Set(x, y, uint8((x*37+y*91)%256))
+		}
+	}
+	e := NewEncoder()
+	r := geom.Rect{X1: 64, Y1: 64}
+	if e.FrameRegionBits(busy, r, 27) <= e.FrameRegionBits(flat, r, 27) {
+		t.Error("busy content should cost more bits than flat")
+	}
+}
+
+func TestDistortionPreservesFlatRegions(t *testing.T) {
+	flat := frame.New(32, 32)
+	flat.Fill(100)
+	e := NewEncoder()
+	enc, err := e.DistortRegion(flat, geom.Rect{X1: 32, Y1: 32}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse, _ := frame.MSE(flat, enc)
+	// Flat blocks only suffer DC quantization, which is small relative
+	// to residual quantization.
+	if mse > 400 {
+		t.Errorf("flat MSE at QP42 = %v, want modest", mse)
+	}
+}
+
+func TestTilingInflation(t *testing.T) {
+	// Figure 4: splitting into finer grids inflates the total encoded
+	// size: 12x24 should cost ~2-3x a 3x6 encoding.
+	v := testVideo()
+	f := v.RenderFrame(0)
+	e := NewEncoder()
+	grids := []struct{ rows, cols int }{{3, 6}, {6, 12}, {12, 24}}
+	sizes := make([]float64, len(grids))
+	for gi, g := range grids {
+		var total float64
+		tw, th := f.W/g.cols, f.H/g.rows
+		for ty := 0; ty < g.rows; ty++ {
+			for tx := 0; tx < g.cols; tx++ {
+				r := geom.Rect{X0: tx * tw, Y0: ty * th, X1: (tx + 1) * tw, Y1: (ty + 1) * th}
+				total += e.HeaderBits + e.FrameRegionBits(f, r, 32)
+			}
+		}
+		sizes[gi] = total
+	}
+	if !(sizes[0] < sizes[1] && sizes[1] < sizes[2]) {
+		t.Fatalf("sizes not increasing with granularity: %v", sizes)
+	}
+	ratio := sizes[2] / sizes[0]
+	if ratio < 1.5 || ratio > 4.5 {
+		t.Errorf("12x24 / 3x6 size ratio = %v, want ~2-3x", ratio)
+	}
+}
+
+func TestTemporalActivity(t *testing.T) {
+	v := testVideo()
+	e := NewEncoder()
+	a := v.RenderFrame(0)
+	b := v.RenderFrame(5)
+	r := geom.Rect{X1: a.W, Y1: a.H}
+	act := e.TemporalActivity(a, b, r)
+	if act < e.TemporalFloor || act > e.TemporalCeil {
+		t.Errorf("activity %v outside [%v,%v]", act, e.TemporalFloor, e.TemporalCeil)
+	}
+	// Identical frames clamp to the floor.
+	if got := e.TemporalActivity(a, a, r); got != e.TemporalFloor {
+		t.Errorf("static activity = %v, want floor %v", got, e.TemporalFloor)
+	}
+	// Empty region clamps to the floor rather than dividing by zero.
+	if got := e.TemporalActivity(a, b, geom.Rect{}); got != e.TemporalFloor {
+		t.Errorf("empty-region activity = %v, want floor", got)
+	}
+}
+
+func TestTileChunkBits(t *testing.T) {
+	v := testVideo()
+	e := NewEncoder()
+	key := v.RenderFrame(0)
+	next := v.RenderFrame(3)
+	r := geom.Rect{X0: 0, Y0: 0, X1: 80, Y1: 60}
+	static := e.TileChunkBits(key, key, r, 32, 30)
+	moving := e.TileChunkBits(key, next, r, 32, 30)
+	if moving < static {
+		t.Error("moving content should cost at least as much as static")
+	}
+	if static <= e.HeaderBits {
+		t.Error("chunk bits should exceed the header alone")
+	}
+	// More frames cost more.
+	if e.TileChunkBits(key, next, r, 32, 60) <= moving {
+		t.Error("longer chunks should cost more")
+	}
+}
+
+func TestDistortRegionBounds(t *testing.T) {
+	f := frame.New(16, 16)
+	e := NewEncoder()
+	if _, err := e.DistortRegion(f, geom.Rect{X0: 8, Y0: 8, X1: 24, Y1: 24}, 32); err == nil {
+		t.Error("out-of-bounds region should error")
+	}
+}

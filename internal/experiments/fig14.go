@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"image/png"
+	"os"
+	"path/filepath"
+
+	"pano/internal/client"
+	"pano/internal/codec"
+	"pano/internal/frame"
+	"pano/internal/player"
+)
+
+// Fig14OutDir is where Fig14 writes its snapshot PNGs when run through
+// the registry (cmd/pano-bench). Tests override it.
+var Fig14OutDir = "fig14-out"
+
+// Fig14Row summarizes one system's snapshot.
+type Fig14Row struct {
+	System    System
+	PNGPath   string
+	MeanLevel float64
+	// FocusLevel is the mean level of tiles containing moving objects
+	// (the skier of Figure 14); BackgroundLevel the rest.
+	FocusLevel, BackgroundLevel float64
+}
+
+// Fig14 reproduces Figure 14: a snapshot of the same chunk streamed by
+// Pano and by the viewport-driven baseline at the same budget. Each
+// system's delivered frame is reconstructed for real — every tile
+// re-quantized at its allocated level and stitched with the client's
+// row-major copy — and written as a PNG next to the original. Pano
+// gives the tracked objects (static to the eye) high quality and lets
+// the fast-sweeping background degrade; the baseline spreads quality by
+// viewport distance only.
+func Fig14(d *Dataset, outDir string) ([]Fig14Row, *Table, error) {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	vi := d.TracedIndices()[0]
+	v := d.Video(vi)
+	tr := d.Traces(vi)[0]
+	enc := codec.NewEncoder()
+	est := player.NewEstimator()
+	k := d.Scale.DurationSec / 2 // mid-session chunk
+	key := v.RenderFrame(k * v.FPS)
+
+	if err := writePNG(filepath.Join(outDir, "fig14-original.png"), key); err != nil {
+		return nil, nil, err
+	}
+
+	var rows []Fig14Row
+	t := &Table{
+		Title:  "Figure 14: delivered-frame snapshot, Pano vs viewport-driven",
+		Header: []string{"system", "png", "mean_level", "object_tiles", "background_tiles"},
+	}
+	for _, s := range []System{SysPano, SysFlare} {
+		mode, planner := s.components()
+		m, err := d.Manifest(vi, mode)
+		if err != nil {
+			return nil, nil, err
+		}
+		view := est.View(m, tr, k, float64(k)*m.ChunkSec-1)
+		budget := m.ChunkBits(k, codec.Level(2))
+		alloc := planner.Plan(m, k, view, budget)
+
+		// Reconstruct the delivered frame tile by tile.
+		tiles := map[int]*frame.Frame{}
+		var meanL, focusL, bgL float64
+		var nFocus, nBg int
+		for ti, l := range alloc {
+			rect := m.Chunks[k].Tiles[ti].Rect
+			df, err := enc.DistortRegion(key, rect, l.QP())
+			if err != nil {
+				return nil, nil, err
+			}
+			tiles[ti] = df
+			meanL += float64(l)
+			if m.Chunks[k].Tiles[ti].ObjSpeedDeg > 0.5 {
+				focusL += float64(l)
+				nFocus++
+			} else {
+				bgL += float64(l)
+				nBg++
+			}
+		}
+		dst := frame.New(m.W, m.H)
+		if err := client.Stitch(m, k, tiles, dst); err != nil {
+			return nil, nil, err
+		}
+		path := filepath.Join(outDir, fmt.Sprintf("fig14-%s.png", s))
+		if err := writePNG(path, dst); err != nil {
+			return nil, nil, err
+		}
+		r := Fig14Row{System: s, PNGPath: path, MeanLevel: meanL / float64(len(alloc))}
+		if nFocus > 0 {
+			r.FocusLevel = focusL / float64(nFocus)
+		}
+		if nBg > 0 {
+			r.BackgroundLevel = bgL / float64(nBg)
+		}
+		rows = append(rows, r)
+		t.Rows = append(t.Rows, []string{s.String(), path,
+			f2(r.MeanLevel), f2(r.FocusLevel), f2(r.BackgroundLevel)})
+	}
+	return rows, t, nil
+}
+
+func writePNG(path string, f *frame.Frame) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := png.Encode(file, f.ToGray()); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// init registers fig14 with the default output directory.
+func init() {
+	registry["fig14"] = func(d *Dataset) (*Table, error) {
+		_, t, err := Fig14(d, Fig14OutDir)
+		return t, err
+	}
+}

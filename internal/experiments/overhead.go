@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"pano/internal/client"
+	"pano/internal/codec"
+	"pano/internal/frame"
+	"pano/internal/player"
+	"pano/internal/provider"
+	"pano/internal/server"
+)
+
+// Fig17aRow is one stage of the client-side CPU breakdown.
+type Fig17aRow struct {
+	System     System
+	Stage      string
+	MsPerChunk float64
+}
+
+// Fig17a reproduces Figure 17(a): per-chunk client CPU time split into
+// quality adaptation, downloading, decoding, and rendering, for Pano
+// vs the viewport-driven baseline. Decoding is proxied by the codec's
+// per-pixel reconstruction over the downloaded tiles; rendering by the
+// row-major tile stitch of §7.
+func Fig17a(d *Dataset) ([]Fig17aRow, *Table, error) {
+	var rows []Fig17aRow
+	t := &Table{
+		Title:  "Figure 17a: client-side CPU per chunk (ms)",
+		Header: []string{"system", "adaptation", "download", "decode", "render"},
+	}
+	vi := d.TracedIndices()[0]
+	v := d.Video(vi)
+	tr := d.Traces(vi)[0]
+	enc := codec.NewEncoder()
+
+	for _, s := range []System{SysFlare, SysPano} {
+		mode, planner := s.components()
+		m, err := d.Manifest(vi, mode)
+		if err != nil {
+			return nil, nil, err
+		}
+		srv, err := server.New(m)
+		if err != nil {
+			return nil, nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		cl := client.New(ts.URL)
+		est := player.NewEstimator()
+
+		var adaptMs, dlMs, decodeMs, renderMs float64
+		chunks := m.NumChunks()
+		if chunks > 3 {
+			chunks = 3
+		}
+		for k := 0; k < chunks; k++ {
+			view := est.View(m, tr, k, float64(k)*m.ChunkSec)
+			budget := m.ChunkBits(k, codec.Level(1))
+
+			t0 := time.Now()
+			alloc := planner.Plan(m, k, view, budget)
+			adaptMs += time.Since(t0).Seconds() * 1e3
+
+			t0 = time.Now()
+			for ti, l := range alloc {
+				if _, err := cl.FetchTile(context.Background(), k, ti, l); err != nil {
+					ts.Close()
+					return nil, nil, err
+				}
+			}
+			dlMs += time.Since(t0).Seconds() * 1e3
+
+			// Decode proxy: reconstruct every tile's pixels at its level.
+			key := v.RenderFrame(k * v.FPS)
+			tiles := map[int]*frame.Frame{}
+			t0 = time.Now()
+			for ti, l := range alloc {
+				r := m.Chunks[k].Tiles[ti].Rect
+				df, err := enc.DistortRegion(key, r, l.QP())
+				if err != nil {
+					ts.Close()
+					return nil, nil, err
+				}
+				tiles[ti] = df
+			}
+			decodeMs += time.Since(t0).Seconds() * 1e3
+
+			t0 = time.Now()
+			dst := frame.New(m.W, m.H)
+			if err := client.Stitch(m, k, tiles, dst); err != nil {
+				ts.Close()
+				return nil, nil, err
+			}
+			renderMs += time.Since(t0).Seconds() * 1e3
+		}
+		ts.Close()
+		n := float64(chunks)
+		for _, st := range []struct {
+			name string
+			ms   float64
+		}{
+			{"adaptation", adaptMs / n}, {"download", dlMs / n},
+			{"decode", decodeMs / n}, {"render", renderMs / n},
+		} {
+			rows = append(rows, Fig17aRow{System: s, Stage: st.name, MsPerChunk: st.ms})
+		}
+		t.Rows = append(t.Rows, []string{s.String(),
+			f2(adaptMs / n), f2(dlMs / n), f2(decodeMs / n), f2(renderMs / n)})
+	}
+	return rows, t, nil
+}
+
+// Fig17bRow is the start-up delay breakdown for one system.
+type Fig17bRow struct {
+	System        System
+	ManifestBytes int
+	ManifestMs    float64
+	FirstChunkMs  float64
+}
+
+// Fig17b reproduces Figure 17(b): video start-up delay split into
+// manifest download (Pano's is larger: it embeds the PSPNR lookup
+// table) and first-chunk download (Pano's is smaller at equal quality).
+func Fig17b(d *Dataset) ([]Fig17bRow, *Table, error) {
+	var rows []Fig17bRow
+	t := &Table{
+		Title:  "Figure 17b: start-up delay breakdown",
+		Header: []string{"system", "manifest_KB", "manifest_ms", "first_chunk_ms"},
+	}
+	vi := d.TracedIndices()[0]
+	tr := d.Traces(vi)[0]
+	for _, s := range []System{SysFlare, SysPano} {
+		mode, planner := s.components()
+		m, err := d.Manifest(vi, mode)
+		if err != nil {
+			return nil, nil, err
+		}
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			return nil, nil, err
+		}
+		srv, err := server.New(m)
+		if err != nil {
+			return nil, nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		cl := client.New(ts.URL)
+
+		t0 := time.Now()
+		if _, err := cl.FetchManifest(context.Background()); err != nil {
+			ts.Close()
+			return nil, nil, err
+		}
+		manifestMs := time.Since(t0).Seconds() * 1e3
+
+		res, err := cl.Stream(context.Background(), tr, client.StreamConfig{
+			Planner: planner, MaxChunks: 1,
+		})
+		ts.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		r := Fig17bRow{System: s, ManifestBytes: buf.Len(), ManifestMs: manifestMs,
+			FirstChunkMs: res.Chunks[0].Download.Seconds() * 1e3}
+		rows = append(rows, r)
+		t.Rows = append(t.Rows, []string{s.String(),
+			f1(float64(r.ManifestBytes) / 1024), f2(r.ManifestMs), f2(r.FirstChunkMs)})
+	}
+	return rows, t, nil
+}
+
+// Fig17cRow is the preprocessing time for one system.
+type Fig17cRow struct {
+	System       System
+	SecPerMinute float64
+}
+
+// Fig17c reproduces Figure 17(c): provider-side preprocessing time per
+// minute of video (encoding analysis, tiling, lookup-table formation).
+func Fig17c(d *Dataset) ([]Fig17cRow, *Table, error) {
+	var rows []Fig17cRow
+	t := &Table{
+		Title:  "Figure 17c: preprocessing time per minute of video",
+		Header: []string{"system", "sec_per_min"},
+	}
+	vi := d.TracedIndices()[0]
+	v := d.Video(vi)
+	trs := d.Traces(vi)
+	if len(trs) > 2 {
+		trs = trs[:2]
+	}
+	for _, s := range []System{SysFlare, SysPano} {
+		mode, _ := s.components()
+		cfg := provider.DefaultConfig()
+		cfg.Mode = mode
+		t0 := time.Now()
+		if _, err := provider.Preprocess(v, trs, cfg); err != nil {
+			return nil, nil, err
+		}
+		el := time.Since(t0).Seconds()
+		perMin := el * 60 / float64(v.DurationSec)
+		rows = append(rows, Fig17cRow{System: s, SecPerMinute: perMin})
+		t.Rows = append(t.Rows, []string{s.String(), f2(perMin)})
+	}
+	return rows, t, nil
+}
+
+// LUTRow summarizes the §6.3 lookup-table compression.
+type LUTRow struct {
+	Schema string
+	Bytes  int
+}
+
+// LookupTableCompression reproduces §6.3: the PSPNR lookup table's size
+// under the three schemas of Figure 12, plus the actual serialized
+// manifest size, on a 5-minute-equivalent video.
+func LookupTableCompression(d *Dataset) ([]LUTRow, *Table, error) {
+	m, err := d.Manifest(d.TracedIndices()[0], provider.ModePano)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Scale the chunk count to a 5-minute video for the headline
+	// numbers (the schema sizes are linear in chunks).
+	scale := 300 / float64(m.NumChunks())
+	full := int(float64(m.FullTableSize(8)) * scale)
+	reduced := int(float64(m.ReducedTableSize()) * scale)
+	power := int(float64(m.PowerTableSize()) * scale)
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		return nil, nil, err
+	}
+	rows := []LUTRow{
+		{Schema: "full (Fig 12a, n=8 per factor)", Bytes: full},
+		{Schema: "ratio-indexed (Fig 12b)", Bytes: reduced},
+		{Schema: "power-regression (Fig 12c)", Bytes: power},
+		{Schema: "serialized manifest (actual, this video)", Bytes: buf.Len()},
+	}
+	t := &Table{
+		Title:  "§6.3: PSPNR lookup table compression (5-minute video)",
+		Header: []string{"schema", "size"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Schema, byteSize(r.Bytes)})
+	}
+	t.Rows = append(t.Rows, []string{"compression full→power",
+		fmt.Sprintf("%.0fx", float64(full)/float64(power))})
+	return rows, t, nil
+}
+
+func byteSize(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}

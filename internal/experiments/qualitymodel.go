@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pano/internal/jnd"
+	"pano/internal/mathx"
+	"pano/internal/player"
+	"pano/internal/provider"
+	"pano/internal/sim"
+	"pano/internal/userstudy"
+)
+
+// Fig6Row is one measured point of Figure 6.
+type Fig6Row struct {
+	Factor      string // "speed" | "luma" | "dof"
+	Value       float64
+	MeasuredJND float64
+	ModelJND    float64
+}
+
+// Fig6 reproduces Figure 6: the panel's measured JND as each factor
+// varies with the others held at zero, against the fitted model.
+func Fig6(d *Dataset) ([]Fig6Row, *Table, error) {
+	panel := userstudy.NewPanel(d.Scale.PanelSize, d.Scale.Seed)
+	prof := jnd.Default()
+	base := userstudy.StimulusBaseJND
+	var rows []Fig6Row
+	add := func(factor string, value float64, f jnd.Factors, model float64) {
+		rows = append(rows, Fig6Row{
+			Factor: factor, Value: value,
+			MeasuredJND: panel.MeasureJND(f),
+			ModelJND:    model,
+		})
+	}
+	for _, v := range []float64{0, 5, 10, 15, 20} {
+		add("speed", v, jnd.Factors{SpeedDegS: v}, base*prof.Fv(v))
+	}
+	for _, l := range []float64{0, 70, 140, 200, 240} {
+		add("luma", l, jnd.Factors{LumaChange: l}, base*prof.Fl(l))
+	}
+	for _, dd := range []float64{0, 0.67, 1.33, 2} {
+		add("dof", dd, jnd.Factors{DoFDiff: dd}, base*prof.Fd(dd))
+	}
+	t := &Table{
+		Title:  "Figure 6: JND vs individual factors (user study vs model)",
+		Header: []string{"factor", "value", "measured_JND", "model_JND"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Factor, f2(r.Value), f1(r.MeasuredJND), f1(r.ModelJND)})
+	}
+	return rows, t, nil
+}
+
+// Fig7Row is one cell of Figure 7's joint-impact surfaces.
+type Fig7Row struct {
+	Pair         string // "speed+dof" | "speed+luma"
+	X1, X2       float64
+	JointJND     float64
+	ProductJND   float64 // C * F(x1) * F(x2): the independence model
+	RelDeviation float64
+}
+
+// Fig7 reproduces Figure 7: joint JND under two non-zero factors vs
+// the product of marginal multipliers (the independence assumption of
+// Equation 4).
+func Fig7(d *Dataset) ([]Fig7Row, *Table, error) {
+	panel := userstudy.NewPanel(d.Scale.PanelSize, d.Scale.Seed+1)
+	var rows []Fig7Row
+	measure := func(pair string, f jnd.Factors, x1, x2 float64) {
+		joint := panel.MeasureJND(f)
+		m1 := panel.Multiplier(jnd.Factors{SpeedDegS: f.SpeedDegS})
+		var m2 float64
+		if pair == "speed+dof" {
+			m2 = panel.Multiplier(jnd.Factors{DoFDiff: f.DoFDiff})
+		} else {
+			m2 = panel.Multiplier(jnd.Factors{LumaChange: f.LumaChange})
+		}
+		product := panel.MeasureJND(jnd.Factors{}) * m1 * m2
+		dev := 0.0
+		if product > 0 {
+			dev = math.Abs(joint-product) / product
+		}
+		rows = append(rows, Fig7Row{Pair: pair, X1: x1, X2: x2,
+			JointJND: joint, ProductJND: product, RelDeviation: dev})
+	}
+	for _, v := range []float64{0, 10, 20} {
+		for _, dd := range []float64{0, 1, 2} {
+			measure("speed+dof", jnd.Factors{SpeedDegS: v, DoFDiff: dd}, v, dd)
+		}
+	}
+	for _, v := range []float64{0, 10, 20} {
+		for _, l := range []float64{0, 100, 200} {
+			measure("speed+luma", jnd.Factors{SpeedDegS: v, LumaChange: l}, v, l)
+		}
+	}
+	t := &Table{
+		Title:  "Figure 7: joint JND vs product of marginals (independence check)",
+		Header: []string{"pair", "x1", "x2", "joint_JND", "product_JND", "rel_dev"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Pair, f1(r.X1), f1(r.X2),
+			f1(r.JointJND), f1(r.ProductJND), fmt.Sprintf("%.0f%%", r.RelDeviation*100)})
+	}
+	return rows, t, nil
+}
+
+// Fig8Result holds per-predictor relative MOS-estimation errors.
+type Fig8Result struct {
+	Err360PSPNR  []float64
+	ErrTradPSPNR []float64
+	ErrPSNR      []float64
+}
+
+// Fig8 reproduces Figure 8: how accurately three quality metrics —
+// 360JND-based PSPNR, traditional (content-JND) PSPNR, and plain PSNR —
+// predict the panel's MOS across videos. Each video's metrics are
+// measured on the same delivered session.
+func Fig8(d *Dataset) (*Fig8Result, *Table, error) {
+	panel := userstudy.NewPanel(d.Scale.PanelSize, d.Scale.Seed+2)
+	prof := jnd.Default()
+	est := player.NewEstimator()
+
+	var v360, vTrad, vPSNR []float64
+	// Each (video, operating point) pair is one rated session; the
+	// spread of genres × bandwidths mirrors the paper's 21 rated
+	// videos spanning the quality range.
+	fracs := []float64{0.2, 0.45, 0.7}
+	n := len(d.Videos())
+	for vi := 0; vi < n; vi++ {
+		m, err := d.Manifest(vi, provider.ModePano)
+		if err != nil {
+			return nil, nil, err
+		}
+		tr := d.Traces(vi)[0]
+		for _, frac := range fracs {
+			res, err := d.RunSystem(vi, tr, SysPano, frac, sim.DefaultConfig())
+			if err != nil {
+				return nil, nil, err
+			}
+			var s360, sTrad, sPSNR mathx.Stats
+			for k, alloc := range res.PerChunkAlloc {
+				actual := est.ActualView(m, tr, k)
+				s360.Add(player.FramePSPNR(m, k, alloc, actual, prof))
+				// Traditional PSPNR: content JND only (nil ⇒ A=1).
+				sTrad.Add(player.FramePSPNR(m, k, alloc, actual, nil))
+				sPSNR.Add(player.FramePSNR(m, k, alloc))
+			}
+			v360 = append(v360, s360.Mean())
+			vTrad = append(vTrad, sTrad.Mean())
+			vPSNR = append(vPSNR, sPSNR.Mean())
+		}
+	}
+	// Each video is rated once; every metric is then judged against
+	// the same ratings.
+	mosReal := make([]float64, len(v360))
+	for i, q := range v360 {
+		mosReal[i] = panel.MOS(q)
+	}
+	res := &Fig8Result{
+		Err360PSPNR:  userstudy.PredictorErrors(v360, mosReal),
+		ErrTradPSPNR: userstudy.PredictorErrors(vTrad, mosReal),
+		ErrPSNR:      userstudy.PredictorErrors(vPSNR, mosReal),
+	}
+	t := &Table{
+		Title:  "Figure 8: MOS estimation error by quality metric",
+		Header: []string{"metric", "median_err_%", "p90_err_%"},
+	}
+	for _, row := range []struct {
+		name string
+		errs []float64
+	}{
+		{"PSPNR w/ 360JND", res.Err360PSPNR},
+		{"PSPNR w/ traditional JND", res.ErrTradPSPNR},
+		{"PSNR", res.ErrPSNR},
+	} {
+		c := mathx.NewCDF(row.errs)
+		t.Rows = append(t.Rows, []string{row.name,
+			f1(c.Quantile(0.5) * 100), f1(c.Quantile(0.9) * 100)})
+	}
+	return res, t, nil
+}

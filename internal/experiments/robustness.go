@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pano/internal/mathx"
+	"pano/internal/sim"
+)
+
+// Fig10Row is one time point of Figure 10.
+type Fig10Row struct {
+	T              float64
+	RealSpeed      float64
+	PredictedBound float64
+}
+
+// Fig10 reproduces Figure 10: the conservative lower-bound speed
+// estimate (min speed over the last 2 s) against the real speed over
+// one dynamic trace, plus the fraction of points where the bound holds.
+func Fig10(d *Dataset) ([]Fig10Row, *Table, error) {
+	vi := d.TracedIndices()[0]
+	tr := d.Traces(vi)[0]
+	var rows []Fig10Row
+	held, total := 0, 0
+	for ts := 2.0; ts < tr.Duration()-0.5; ts += 0.5 {
+		bound := tr.MinSpeedIn(ts-2, ts)
+		real := tr.SpeedAt(ts + 0.5)
+		rows = append(rows, Fig10Row{T: ts, RealSpeed: real, PredictedBound: bound})
+		total++
+		if bound <= real+1.0 {
+			held++
+		}
+	}
+	t := &Table{
+		Title:  "Figure 10: lower-bound speed prediction vs real speed",
+		Header: []string{"t_s", "real_deg_s", "bound_deg_s"},
+	}
+	step := len(rows) / 12
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(rows); i += step {
+		r := rows[i]
+		t.Rows = append(t.Rows, []string{f1(r.T), f1(r.RealSpeed), f1(r.PredictedBound)})
+	}
+	t.Rows = append(t.Rows, []string{"bound_holds",
+		fmt.Sprintf("%.0f%%", 100*float64(held)/float64(total)), ""})
+	return rows, t, nil
+}
+
+// Fig16aRow summarizes the PSPNR estimation-error CDF at one noise
+// level.
+type Fig16aRow struct {
+	NoiseDeg            float64
+	MedianErrDB, P90Err float64
+}
+
+// Fig16a reproduces Figure 16(a): the client's PSPNR estimation error
+// under increasing viewpoint noise.
+func Fig16a(d *Dataset) ([]Fig16aRow, *Table, error) {
+	var rows []Fig16aRow
+	t := &Table{
+		Title:  "Figure 16a: PSPNR estimation error under viewpoint noise",
+		Header: []string{"noise_deg", "median_err_dB", "p90_err_dB"},
+	}
+	for _, noise := range []float64{5, 40, 80} {
+		var errs []float64
+		for _, vi := range d.TracedIndices() {
+			trs := d.Traces(vi)
+			if len(trs) > 2 {
+				trs = trs[:2]
+			}
+			for _, tr := range trs {
+				cfg := sim.DefaultConfig()
+				cfg.ViewNoiseDeg = noise
+				cfg.Seed = uint64(noise) + 11
+				res, err := d.RunSystem(vi, tr, SysPano, sim.Trace1Frac, cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				for k := range res.PerChunkPSPNR {
+					errs = append(errs, math.Abs(res.PerChunkPSPNR[k]-res.PerChunkEstPSPNR[k]))
+				}
+			}
+		}
+		c := mathx.NewCDF(errs)
+		r := Fig16aRow{NoiseDeg: noise, MedianErrDB: c.Quantile(0.5), P90Err: c.Quantile(0.9)}
+		rows = append(rows, r)
+		t.Rows = append(t.Rows, []string{f0(noise), f1(r.MedianErrDB), f1(r.P90Err)})
+	}
+	return rows, t, nil
+}
+
+// Fig16bRow summarizes the cross-user quality distribution at one
+// noise level.
+type Fig16bRow struct {
+	NoiseDeg             float64
+	MeanPSPNR, P10, P90  float64
+	CrossUserSpreadRatio float64 // (p90-p10)/mean
+}
+
+// Fig16b reproduces Figure 16(b): the distribution of per-user PSPNR
+// under viewpoint noise — quality drops with noise but stays tight
+// across users.
+func Fig16b(d *Dataset) ([]Fig16bRow, *Table, error) {
+	var rows []Fig16bRow
+	t := &Table{
+		Title:  "Figure 16b: per-user PSPNR distribution under noise",
+		Header: []string{"noise_deg", "mean_dB", "p10", "p90", "spread"},
+	}
+	for _, noise := range []float64{5, 40, 80} {
+		var per []float64
+		for _, vi := range d.TracedIndices() {
+			for _, tr := range d.Traces(vi) {
+				cfg := sim.DefaultConfig()
+				cfg.ViewNoiseDeg = noise
+				cfg.Seed = uint64(noise) + 17
+				res, err := d.RunSystem(vi, tr, SysPano, sim.Trace1Frac, cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				per = append(per, res.MeanPSPNR)
+			}
+		}
+		c := mathx.NewCDF(per)
+		r := Fig16bRow{NoiseDeg: noise, MeanPSPNR: c.Mean(),
+			P10: c.Quantile(0.1), P90: c.Quantile(0.9)}
+		if r.MeanPSPNR > 0 {
+			r.CrossUserSpreadRatio = (r.P90 - r.P10) / r.MeanPSPNR
+		}
+		rows = append(rows, r)
+		t.Rows = append(t.Rows, []string{f0(noise), f1(r.MeanPSPNR), f1(r.P10), f1(r.P90), f2(r.CrossUserSpreadRatio)})
+	}
+	return rows, t, nil
+}
+
+// Fig16cRow is one point of the noise sweep.
+type Fig16cRow struct {
+	NoiseDeg              float64
+	PanoPSPNR, FlarePSPNR float64
+}
+
+// Fig16c reproduces Figure 16(c): Pano vs the viewport-driven baseline
+// as viewpoint noise grows — Pano stays ahead with diminishing gains.
+func Fig16c(d *Dataset) ([]Fig16cRow, *Table, error) {
+	var rows []Fig16cRow
+	t := &Table{
+		Title:  "Figure 16c: quality vs viewpoint noise level",
+		Header: []string{"noise_deg", "pano_dB", "viewport_driven_dB"},
+	}
+	vis := d.TracedIndices()
+	if len(vis) > 2 {
+		vis = vis[:2]
+	}
+	for _, noise := range []float64{0, 50, 100, 150} {
+		cfg := sim.DefaultConfig()
+		cfg.ViewNoiseDeg = noise
+		cfg.Seed = uint64(noise) + 29
+		pa, err := d.aggregate(vis, SysPano, sim.Trace1Frac, cfg, 2)
+		if err != nil {
+			return nil, nil, err
+		}
+		fl, err := d.aggregate(vis, SysFlare, sim.Trace1Frac, cfg, 2)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := Fig16cRow{NoiseDeg: noise, PanoPSPNR: pa.pspnr.Mean(), FlarePSPNR: fl.pspnr.Mean()}
+		rows = append(rows, r)
+		t.Rows = append(t.Rows, []string{f0(noise), f1(r.PanoPSPNR), f1(r.FlarePSPNR)})
+	}
+	return rows, t, nil
+}
+
+// Fig16dRow is one point of the bandwidth-error study.
+type Fig16dRow struct {
+	System         System
+	ErrFrac        float64
+	PSPNR          float64
+	BufferingRatio float64
+}
+
+// Fig16d reproduces Figure 16(d): the bandwidth-quality tradeoff under
+// throughput prediction errors of 0/10/30% for Pano and the baseline.
+func Fig16d(d *Dataset) ([]Fig16dRow, *Table, error) {
+	var rows []Fig16dRow
+	t := &Table{
+		Title:  "Figure 16d: impact of bandwidth prediction error",
+		Header: []string{"system", "err_%", "pspnr_dB", "buffering_%"},
+	}
+	vis := d.TracedIndices()
+	if len(vis) > 2 {
+		vis = vis[:2]
+	}
+	for _, s := range []System{SysPano, SysFlare} {
+		for _, e := range []float64{0, 0.1, 0.3} {
+			cfg := sim.DefaultConfig()
+			cfg.BWErrorFrac = e
+			agg, err := d.aggregate(vis, s, sim.Trace1Frac, cfg, 2)
+			if err != nil {
+				return nil, nil, err
+			}
+			r := Fig16dRow{System: s, ErrFrac: e,
+				PSPNR: agg.pspnr.Mean(), BufferingRatio: agg.buffering.Mean()}
+			rows = append(rows, r)
+			t.Rows = append(t.Rows, []string{s.String(), f0(e * 100), f1(r.PSPNR), f2(r.BufferingRatio)})
+		}
+	}
+	return rows, t, nil
+}

@@ -1,0 +1,227 @@
+// Package jnd implements the paper's 360JND model (§4).
+//
+// The Just-Noticeable Difference at a pixel is the product of two parts:
+//
+//	JND(i,j) = C(i,j) * A(v, d, l)
+//
+// where C is the content-dependent JND of classic perceptual coding
+// (Chou & Li 1995: luminance masking and texture masking computed from
+// the original pixels), and A is the action-dependent ratio — the product
+// of three multipliers driven by the user's viewpoint movement:
+//
+//	A(v, d, l) = Fv(v) * Fd(d) * Fl(l)
+//
+// with v the relative viewpoint-moving speed (deg/s), d the
+// depth-of-field difference to the viewpoint-focused object (dioptre),
+// and l the luminance change within the last ~5 seconds (grey levels).
+// The multipliers are monotone non-decreasing, equal to 1 at zero, and
+// calibrated so the 50%-extra-tolerance thresholds of §2.3 hold:
+// Fv(10)=1.5, Fl(200)=1.5, Fd(0.7)=1.5.
+package jnd
+
+import (
+	"fmt"
+	"math"
+
+	"pano/internal/frame"
+	"pano/internal/geom"
+	"pano/internal/mathx"
+)
+
+// Factors bundles the three viewpoint-driven quantities for one tile at
+// one instant.
+type Factors struct {
+	SpeedDegS  float64 // relative viewpoint-moving speed, deg/s
+	DoFDiff    float64 // depth-of-field difference, dioptre
+	LumaChange float64 // luminance change in the last 5 s, grey levels
+}
+
+// Zero reports whether all factors are zero (static viewing).
+func (f Factors) Zero() bool {
+	return f.SpeedDegS == 0 && f.DoFDiff == 0 && f.LumaChange == 0
+}
+
+// Profile holds the empirical multiplier curves as piecewise-linear
+// anchors. It is content-agnostic: the paper builds it once from a user
+// study and reuses it for every video (§8.4).
+type Profile struct {
+	SpeedX, SpeedY []float64
+	DoFX, DoFY     []float64
+	LumaX, LumaY   []float64
+}
+
+// Default returns the profile calibrated against the paper's Figure 6
+// curves and the §2.3 thresholds.
+func Default() *Profile {
+	return &Profile{
+		// JND vs relative speed rises ~4x over 0..20 deg/s (Fig. 6 left),
+		// passing 1.5x at 10 deg/s.
+		SpeedX: []float64{0, 5, 10, 15, 20},
+		SpeedY: []float64{1.0, 1.2, 1.5, 2.4, 4.0},
+		// JND vs DoF difference rises ~5x over 0..2 dioptre (Fig. 6
+		// right), passing 1.5x at 0.7 dioptre.
+		DoFX: []float64{0, 0.35, 0.7, 1.33, 2.0},
+		DoFY: []float64{1.0, 1.2, 1.5, 2.6, 5.0},
+		// JND vs 5s luminance change rises ~1.9x over 0..240 grey
+		// (Fig. 6 middle), passing 1.5x at 200 grey.
+		LumaX: []float64{0, 70, 140, 200, 240},
+		LumaY: []float64{1.0, 1.1, 1.25, 1.5, 1.9},
+	}
+}
+
+// Validate checks monotonicity and the F(0)=1 normalization.
+func (p *Profile) Validate() error {
+	check := func(name string, xs, ys []float64) error {
+		if len(xs) != len(ys) || len(xs) < 2 {
+			return fmt.Errorf("jnd: %s anchors malformed", name)
+		}
+		if ys[0] != 1 {
+			return fmt.Errorf("jnd: %s multiplier at 0 is %v, want 1", name, ys[0])
+		}
+		for i := 1; i < len(xs); i++ {
+			if xs[i] <= xs[i-1] {
+				return fmt.Errorf("jnd: %s x anchors not increasing", name)
+			}
+			if ys[i] < ys[i-1] {
+				return fmt.Errorf("jnd: %s multiplier not monotone", name)
+			}
+		}
+		return nil
+	}
+	if err := check("speed", p.SpeedX, p.SpeedY); err != nil {
+		return err
+	}
+	if err := check("dof", p.DoFX, p.DoFY); err != nil {
+		return err
+	}
+	return check("luma", p.LumaX, p.LumaY)
+}
+
+// Fv returns the viewpoint-speed multiplier at v deg/s.
+func (p *Profile) Fv(v float64) float64 {
+	if v < 0 {
+		v = -v
+	}
+	return mathx.Interp(v, p.SpeedX, p.SpeedY)
+}
+
+// Fd returns the DoF-difference multiplier at d dioptre.
+func (p *Profile) Fd(d float64) float64 {
+	if d < 0 {
+		d = -d
+	}
+	return mathx.Interp(d, p.DoFX, p.DoFY)
+}
+
+// Fl returns the luminance-change multiplier at l grey levels.
+func (p *Profile) Fl(l float64) float64 {
+	if l < 0 {
+		l = -l
+	}
+	return mathx.Interp(l, p.LumaX, p.LumaY)
+}
+
+// ActionRatio returns A(v,d,l) = Fv*Fd*Fl (Equation 4).
+func (p *Profile) ActionRatio(f Factors) float64 {
+	return p.Fv(f.SpeedDegS) * p.Fd(f.DoFDiff) * p.Fl(f.LumaChange)
+}
+
+// JND returns the full 360JND for a pixel whose content-dependent JND
+// is c, under viewpoint factors f.
+func (p *Profile) JND(c float64, f Factors) float64 {
+	return c * p.ActionRatio(f)
+}
+
+// --- Content-dependent JND (Chou & Li 1995) ---
+
+// LuminanceMasking returns the luminance-masking JND threshold for a
+// background luminance bg in [0, 255]: high in the dark, minimal (~3)
+// around mid-grey, rising gently for bright backgrounds.
+func LuminanceMasking(bg float64) float64 {
+	if bg < 0 {
+		bg = 0
+	}
+	if bg > 255 {
+		bg = 255
+	}
+	if bg <= 127 {
+		return 17*(1-sqrt(bg/127)) + 3
+	}
+	return 3.0/128.0*(bg-127) + 3
+}
+
+// TextureMasking returns the texture-masking JND component for a mean
+// local gradient magnitude g: busier regions hide more distortion.
+func TextureMasking(g float64) float64 {
+	const slope = 0.25
+	return slope * g
+}
+
+// ContentJNDBlock returns the content-dependent JND C for a pixel block:
+// the maximum of luminance masking (from the block's mean luminance) and
+// texture masking (from its mean gradient), per Chou–Li.
+func ContentJNDBlock(meanLuma, gradient float64) float64 {
+	lm := LuminanceMasking(meanLuma)
+	tm := TextureMasking(gradient)
+	if tm > lm {
+		return tm
+	}
+	return lm
+}
+
+// FieldBlockSize is the block granularity at which ContentField computes
+// the content JND. 8 matches the Chou–Li neighborhood scale.
+const FieldBlockSize = 8
+
+// ContentField computes the content-dependent JND over rectangle r of
+// the original frame, at FieldBlockSize granularity. The returned field
+// has one value per pixel of r (block values replicated), laid out
+// row-major with width r.W().
+func ContentField(orig *frame.Frame, r geom.Rect) []float64 {
+	w, h := r.W(), r.H()
+	out := make([]float64, w*h)
+	for by := 0; by < h; by += FieldBlockSize {
+		for bx := 0; bx < w; bx += FieldBlockSize {
+			block := geom.Rect{
+				X0: r.X0 + bx, Y0: r.Y0 + by,
+				X1: minInt(r.X0+bx+FieldBlockSize, r.X1),
+				Y1: minInt(r.Y0+by+FieldBlockSize, r.Y1),
+			}
+			c := ContentJNDBlock(orig.MeanLuma(block), orig.GradientEnergy(block))
+			for y := by; y < by+FieldBlockSize && y < h; y++ {
+				for x := bx; x < bx+FieldBlockSize && x < w; x++ {
+					out[y*w+x] = c
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MeanContentJND returns the average content-dependent JND over r —
+// the per-tile summary the provider stores offline.
+func MeanContentJND(orig *frame.Frame, r geom.Rect) float64 {
+	c := ContentField(orig, r)
+	if len(c) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range c {
+		s += v
+	}
+	return s / float64(len(c))
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+package manifest
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pano/internal/codec"
+	"pano/internal/geom"
+)
+
+func sampleVideo() *Video {
+	v := &Video{Name: "test", Genre: "Sports", W: 100, H: 50, FPS: 30, ChunkSec: 1}
+	mk := func(r geom.Rect) Tile {
+		t := Tile{Rect: r, AvgLuma: 120, AvgDoF: 0.5}
+		for l := 0; l < codec.NumLevels; l++ {
+			t.Bits[l] = 1e5 / math.Pow(1.7, float64(l))
+			t.RefPSPNR[l] = 90 - 8*float64(l)
+			t.LUT[l] = PowerLUT{ACoeff: 1, BExp: 0.1}
+		}
+		return t
+	}
+	v.Chunks = []Chunk{{
+		Index: 0,
+		Tiles: []Tile{
+			mk(geom.Rect{X0: 0, Y0: 0, X1: 50, Y1: 50}),
+			mk(geom.Rect{X0: 50, Y0: 0, X1: 100, Y1: 50}),
+		},
+	}}
+	return v
+}
+
+func TestValidateAcceptsGood(t *testing.T) {
+	if err := sampleVideo().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	v := sampleVideo()
+	v.Chunks[0].Tiles[0].Rect.X1 = 40 // gap
+	if err := v.Validate(); err == nil {
+		t.Error("gap should fail")
+	}
+
+	v = sampleVideo()
+	v.Chunks[0].Tiles[0].Bits[1] = v.Chunks[0].Tiles[0].Bits[0] * 2 // size grows with worse quality
+	if err := v.Validate(); err == nil {
+		t.Error("non-monotone sizes should fail")
+	}
+
+	v = sampleVideo()
+	v.Chunks[0].Tiles[0].Bits[2] = 0
+	if err := v.Validate(); err == nil {
+		t.Error("zero size should fail")
+	}
+
+	v = sampleVideo()
+	v.Chunks[0].Tiles[0].RefPSPNR[0] = 150
+	if err := v.Validate(); err == nil {
+		t.Error("out-of-range PSPNR should fail")
+	}
+
+	v = sampleVideo()
+	v.W = 0
+	if err := v.Validate(); err == nil {
+		t.Error("bad header should fail")
+	}
+
+	v = sampleVideo()
+	v.Chunks[0].Tiles[0].Rect = geom.Rect{X0: -5, Y0: 0, X1: 50, Y1: 50}
+	if err := v.Validate(); err == nil {
+		t.Error("negative rect should fail")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	v := sampleVideo()
+	var buf bytes.Buffer
+	if err := v.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != v.Name || back.NumChunks() != 1 || len(back.Chunks[0].Tiles) != 2 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Chunks[0].Tiles[0].Bits != v.Chunks[0].Tiles[0].Bits {
+		t.Error("bits changed in round trip")
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("{not json"))); err == nil {
+		t.Error("garbage should fail to decode")
+	}
+}
+
+func TestChunkBits(t *testing.T) {
+	v := sampleVideo()
+	want := 2 * v.Chunks[0].Tiles[0].Bits[0]
+	if got := v.ChunkBits(0, 0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ChunkBits = %v, want %v", got, want)
+	}
+	if v.ChunkBits(5, 0) != 0 || v.ChunkBits(-1, 0) != 0 {
+		t.Error("out-of-range chunk should be 0")
+	}
+	if v.DurationSec() != 1 {
+		t.Errorf("duration = %v", v.DurationSec())
+	}
+}
+
+func TestPowerLUTEval(t *testing.T) {
+	l := PowerLUT{ACoeff: 1, BExp: 0.2}
+	if got := l.PSPNR(60, 1); math.Abs(got-60) > 1e-9 {
+		t.Errorf("PSPNR at A=1 = %v, want ref", got)
+	}
+	if l.PSPNR(60, 5) <= 60 {
+		t.Error("PSPNR should rise with A for positive exponent")
+	}
+	// Sub-1 ratios clamp to 1.
+	if l.PSPNR(60, 0.1) != 60 {
+		t.Error("A < 1 should clamp")
+	}
+	// Cap.
+	if got := l.PSPNR(99, 100); got > 100 {
+		t.Errorf("PSPNR should cap at 100, got %v", got)
+	}
+}
+
+func TestFitPowerLUT(t *testing.T) {
+	// PSPNR(A) = 50 * 1.05 * A^0.3.
+	ratios := AnchorRatios
+	pspnrs := make([]float64, len(ratios))
+	for i, r := range ratios {
+		pspnrs[i] = 50 * 1.05 * math.Pow(r, 0.3)
+	}
+	lut := FitPowerLUT(50, ratios, pspnrs)
+	if math.Abs(lut.ACoeff-1.05) > 1e-6 || math.Abs(lut.BExp-0.3) > 1e-6 {
+		t.Errorf("fit = %+v, want a=1.05 b=0.3", lut)
+	}
+	// Degenerate ref falls back to identity.
+	flat := FitPowerLUT(0, ratios, pspnrs)
+	if flat.ACoeff != 1 || flat.BExp != 0 {
+		t.Errorf("degenerate fit = %+v", flat)
+	}
+}
+
+func TestTableSizesCompressionRatio(t *testing.T) {
+	// Build a 5-minute-scale manifest: 300 chunks x 30 tiles.
+	v := &Video{Name: "big", W: 480, H: 240, FPS: 30, ChunkSec: 1}
+	for k := 0; k < 300; k++ {
+		c := Chunk{Index: k}
+		for i := 0; i < 30; i++ {
+			c.Tiles = append(c.Tiles, Tile{})
+		}
+		v.Chunks = append(v.Chunks, c)
+	}
+	full := v.FullTableSize(8)
+	reduced := v.ReducedTableSize()
+	power := v.PowerTableSize()
+	if !(power < reduced && reduced < full) {
+		t.Fatalf("sizes not ordered: full=%d reduced=%d power=%d", full, reduced, power)
+	}
+	// §6.3: ~10 MB down to ~50 KB: expect ≥ 100x compression and a
+	// full table in the multi-MB range.
+	if ratio := float64(full) / float64(power); ratio < 100 {
+		t.Errorf("compression ratio = %v, want ≥ 100x", ratio)
+	}
+	if full < 5<<20 {
+		t.Errorf("full table = %d bytes, expected multi-MB", full)
+	}
+	if power > 2<<20 {
+		t.Errorf("power table = %d bytes, expected ≪ full", power)
+	}
+}

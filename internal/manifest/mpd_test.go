@@ -1,0 +1,113 @@
+package manifest
+
+import (
+	"bytes"
+
+	"strings"
+	"testing"
+
+	"pano/internal/codec"
+)
+
+func TestMPDStructure(t *testing.T) {
+	v := sampleVideo()
+	m := v.MPD()
+	if len(m.Periods) != 1 {
+		t.Fatalf("periods = %d, want 1", len(m.Periods))
+	}
+	p := m.Periods[0]
+	if len(p.AdaptationSets) != 2 {
+		t.Fatalf("adaptation sets = %d, want 2 tiles", len(p.AdaptationSets))
+	}
+	as := p.AdaptationSets[0]
+	if len(as.Representations) != codec.NumLevels {
+		t.Fatalf("representations = %d, want %d", len(as.Representations), codec.NumLevels)
+	}
+	// SRD property encodes the tile rect within the panorama.
+	srd := as.Supplementals[0]
+	if srd.SchemeIDURI != SRDScheme {
+		t.Errorf("scheme = %q", srd.SchemeIDURI)
+	}
+	if srd.Value != "0,0,0,50,50,100,50" {
+		t.Errorf("srd value = %q", srd.Value)
+	}
+	// Bandwidth is bits per second of chunk.
+	if as.Representations[0].Bandwidth != int(v.Chunks[0].Tiles[0].Bits[0]) {
+		t.Errorf("bandwidth = %d", as.Representations[0].Bandwidth)
+	}
+	// The LUT rides on each representation.
+	lut := as.Representations[0].Supplementals[0]
+	if lut.SchemeIDURI != LUTScheme || !strings.Contains(lut.Value, ",") {
+		t.Errorf("lut property = %+v", lut)
+	}
+	// BaseURL matches the server's tile path layout.
+	if as.Representations[2].BaseURL != "video/0/0/2.bin" {
+		t.Errorf("base url = %q", as.Representations[2].BaseURL)
+	}
+}
+
+func TestMPDXMLRoundTrip(t *testing.T) {
+	v := sampleVideo()
+	var buf bytes.Buffer
+	if err := v.MPD().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		xmlHeaderFrag, "urn:mpeg:dash:schema:mpd:2011", "SupplementalProperty",
+		"urn:mpeg:dash:srd:2014", "urn:pano:pspnr-lut:2019",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("serialized MPD missing %q", want)
+		}
+	}
+	back, err := DecodeMPD(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Periods) != 1 || len(back.Periods[0].AdaptationSets) != 2 {
+		t.Fatalf("round trip lost structure: %+v", back)
+	}
+	if back.Periods[0].AdaptationSets[0].Supplementals[0].Value !=
+		v.MPD().Periods[0].AdaptationSets[0].Supplementals[0].Value {
+		t.Error("SRD value changed in round trip")
+	}
+}
+
+const xmlHeaderFrag = "<?xml"
+
+func TestMPDDurations(t *testing.T) {
+	v := sampleVideo()
+	m := v.MPD()
+	if m.MediaPresentationDur != "PT1.000S" {
+		t.Errorf("duration = %q", m.MediaPresentationDur)
+	}
+	if m.Periods[0].Start != "PT0.000S" {
+		t.Errorf("period start = %q", m.Periods[0].Start)
+	}
+}
+
+func TestDecodeMPDGarbage(t *testing.T) {
+	if _, err := DecodeMPD(strings.NewReader("<not-xml")); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestMPDMultiPeriod(t *testing.T) {
+	v := sampleVideo()
+	// Clone the chunk as a second period with shifted index.
+	c2 := v.Chunks[0]
+	c2.Index = 1
+	v.Chunks = append(v.Chunks, c2)
+	m := v.MPD()
+	if len(m.Periods) != 2 {
+		t.Fatalf("periods = %d", len(m.Periods))
+	}
+	if m.Periods[1].Start != "PT1.000S" {
+		t.Errorf("second period start = %q", m.Periods[1].Start)
+	}
+	if m.Periods[1].AdaptationSets[0].Representations[0].BaseURL != "video/1/0/0.bin" {
+		t.Errorf("second period url = %q",
+			m.Periods[1].AdaptationSets[0].Representations[0].BaseURL)
+	}
+}

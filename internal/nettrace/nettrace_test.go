@@ -1,0 +1,165 @@
+package nettrace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSynthesizeLTEMeanAndShape(t *testing.T) {
+	for _, target := range []float64{0.71, 1.05} {
+		tr := SynthesizeLTE(1, 600, target)
+		if tr.Len() != 600 {
+			t.Fatalf("len = %d", tr.Len())
+		}
+		if m := tr.Mean(); math.Abs(m-target) > 1e-9 {
+			t.Errorf("mean = %v, want %v", m, target)
+		}
+		// Real LTE traces fluctuate: coefficient of variation well
+		// above zero.
+		var s, s2 float64
+		for _, v := range tr.Mbps {
+			s += v
+			s2 += v * v
+		}
+		mean := s / float64(tr.Len())
+		std := math.Sqrt(s2/float64(tr.Len()) - mean*mean)
+		if std/mean < 0.15 {
+			t.Errorf("CoV = %v, want bursty trace", std/mean)
+		}
+		for i, v := range tr.Mbps {
+			if v <= 0 {
+				t.Fatalf("non-positive bandwidth at %d", i)
+			}
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := SynthesizeLTE(7, 100, 1)
+	b := SynthesizeLTE(7, 100, 1)
+	for i := range a.Mbps {
+		if a.Mbps[i] != b.Mbps[i] {
+			t.Fatal("same seed should match")
+		}
+	}
+	c := SynthesizeLTE(8, 100, 1)
+	same := true
+	for i := range a.Mbps {
+		if a.Mbps[i] != c.Mbps[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestBandwidthAtWraps(t *testing.T) {
+	tr := &Trace{Mbps: []float64{1, 2, 3}}
+	if tr.BandwidthAt(0) != 1e6 || tr.BandwidthAt(1.5) != 2e6 {
+		t.Error("lookup wrong")
+	}
+	if tr.BandwidthAt(3) != 1e6 || tr.BandwidthAt(4) != 2e6 {
+		t.Error("should wrap past the end")
+	}
+	empty := &Trace{}
+	if empty.BandwidthAt(1) != 0 {
+		t.Error("empty trace bandwidth should be 0")
+	}
+}
+
+func TestScale(t *testing.T) {
+	tr := &Trace{Mbps: []float64{1, 3}}
+	s := tr.Scale(4)
+	if m := s.Mean(); math.Abs(m-4) > 1e-12 {
+		t.Errorf("scaled mean = %v", m)
+	}
+	if tr.Mbps[0] != 1 {
+		t.Error("Scale must not mutate the original")
+	}
+	z := (&Trace{Mbps: []float64{0, 0}}).Scale(5)
+	if z.Mean() != 0 {
+		t.Error("zero trace scales to itself")
+	}
+}
+
+func TestDownloadTimeConstantRate(t *testing.T) {
+	tr := &Trace{Mbps: []float64{2, 2, 2, 2}} // 2 Mbps constant
+	l := NewLink(tr)
+	// 1 Mbit at 2 Mbps = 0.5 s + RTT.
+	got := l.DownloadTime(0, 1e6)
+	if math.Abs(got-(0.5+l.RTTSec)) > 1e-9 {
+		t.Errorf("download time = %v, want %v", got, 0.5+l.RTTSec)
+	}
+	// Zero bits costs one RTT.
+	if l.DownloadTime(0, 0) != l.RTTSec {
+		t.Error("empty download should cost one RTT")
+	}
+}
+
+func TestDownloadTimeVariableRate(t *testing.T) {
+	// 1 Mbps for 1 s, then 4 Mbps: 3 Mbit takes 1 s + 0.5 s.
+	tr := &Trace{Mbps: []float64{1, 4, 4, 4}}
+	l := NewLink(tr)
+	l.RTTSec = 0
+	got := l.DownloadTime(0, 3e6)
+	if math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("download time = %v, want 1.5", got)
+	}
+	// Mid-interval start.
+	got = l.DownloadTime(0.5, 0.5e6) // finishes exactly at t=1.0
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("mid-start download = %v, want 0.5", got)
+	}
+}
+
+func TestDownloadTimeSurvivesZeroBandwidth(t *testing.T) {
+	tr := &Trace{Mbps: []float64{0}}
+	l := NewLink(tr)
+	got := l.DownloadTime(0, 1e3)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("download time = %v", got)
+	}
+	if got <= 0 {
+		t.Fatal("download should take positive time")
+	}
+}
+
+func TestMeanThroughput(t *testing.T) {
+	l := NewLink(&Trace{Mbps: []float64{1, 3}})
+	if l.MeanThroughput() != 2e6 {
+		t.Errorf("mean throughput = %v", l.MeanThroughput())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := SynthesizeLTE(3, 50, 1.05)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip length %d vs %d", back.Len(), tr.Len())
+	}
+	for i := range tr.Mbps {
+		if math.Abs(back.Mbps[i]-tr.Mbps[i]) > 1e-3 {
+			t.Fatalf("sample %d: %v vs %v", i, back.Mbps[i], tr.Mbps[i])
+		}
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := []string{"", "t,mbps\n", "0,abc\n", "0\n", "0,-1\n"}
+	for i, c := range cases {
+		if _, err := ParseCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package player
+
+import (
+	"math"
+
+	"pano/internal/abr"
+	"pano/internal/geom"
+	"pano/internal/jnd"
+	"pano/internal/manifest"
+	"pano/internal/quality"
+	"pano/internal/viewport"
+)
+
+// Estimator turns the client's viewpoint history and the manifest into
+// the ChunkView a Planner consumes. It implements §6.1's robustness
+// strategy: ranges and lower bounds instead of exact predictions.
+type Estimator struct {
+	// Pred extrapolates the viewpoint center.
+	Pred *viewport.Predictor
+	// SpeedWindowSec is the lookback for the lower-bound speed
+	// estimate (the paper uses the last 2 s).
+	SpeedWindowSec float64
+	// LumaWindowSec is the luminance-change lookback (~5 s).
+	LumaWindowSec float64
+}
+
+// NewEstimator returns an estimator with the paper's windows.
+func NewEstimator() *Estimator {
+	return &Estimator{
+		Pred:           viewport.NewPredictor(),
+		SpeedWindowSec: 2,
+		LumaWindowSec:  5,
+	}
+}
+
+// lumaAlongTrace returns the manifest luminance under the viewpoint at
+// media time u: the AvgLuma of the tile the viewpoint is in.
+func lumaAlongTrace(m *manifest.Video, tr *viewport.Trace, u float64) float64 {
+	k := int(u / m.ChunkSec)
+	if k < 0 {
+		k = 0
+	}
+	if k >= m.NumChunks() {
+		k = m.NumChunks() - 1
+	}
+	a := tr.At(u)
+	ti := TileAt(m, k, a)
+	return m.Chunks[k].Tiles[ti].AvgLuma
+}
+
+// View builds the predicted ChunkView for chunk k, deciding at media
+// time now (the playhead when the download is scheduled) for playback
+// at the chunk's midpoint.
+func (e *Estimator) View(m *manifest.Video, tr *viewport.Trace, k int, now float64) ChunkView {
+	tMid := (float64(k) + 0.5) * m.ChunkSec
+	horizon := tMid - now
+	if horizon < 0 {
+		horizon = 0
+	}
+	center := e.Pred.Predict(tr, now, horizon)
+	speedLB := tr.MinSpeedIn(math.Max(0, now-e.SpeedWindowSec), now)
+
+	// Luminance swing of the viewport over the recent window, read off
+	// the manifest tiles the viewpoint visited.
+	ref := lumaAlongTrace(m, tr, now)
+	var swing float64
+	for u := math.Max(0, now-e.LumaWindowSec); u <= now+1e-9; u += 5 * viewport.RefreshInterval {
+		if d := math.Abs(lumaAlongTrace(m, tr, u) - ref); d > swing {
+			swing = d
+		}
+	}
+
+	focusTile := TileAt(m, clampChunk(m, k), center)
+	return ChunkView{
+		Center:     center,
+		SpeedLB:    speedLB,
+		LumaChange: swing,
+		FocusDoF:   m.Chunks[clampChunk(m, k)].Tiles[focusTile].AvgDoF,
+	}
+}
+
+// BestGuessView is View with the speed *estimate* (the current speed)
+// instead of the conservative lower bound. Quality selection uses the
+// bound (§6.1); the client's PSPNR *prediction* — whose accuracy
+// Figure 16(a) measures — uses the best guess.
+func (e *Estimator) BestGuessView(m *manifest.Video, tr *viewport.Trace, k int, now float64) ChunkView {
+	v := e.View(m, tr, k, now)
+	v.SpeedLB = tr.SpeedAt(now)
+	return v
+}
+
+// ActualView builds the ground-truth view of chunk k at its playback
+// midpoint: exact speed instead of the lower bound, actual center. The
+// simulator uses it to score delivered quality, and the gap between
+// View and ActualView is exactly the estimation error of Figure 16(a).
+func (e *Estimator) ActualView(m *manifest.Video, tr *viewport.Trace, k int) ChunkView {
+	tMid := (float64(k) + 0.5) * m.ChunkSec
+	center := tr.At(tMid)
+	ref := lumaAlongTrace(m, tr, tMid)
+	var swing float64
+	for u := math.Max(0, tMid-e.LumaWindowSec); u <= tMid+1e-9; u += 5 * viewport.RefreshInterval {
+		if d := math.Abs(lumaAlongTrace(m, tr, u) - ref); d > swing {
+			swing = d
+		}
+	}
+	kc := clampChunk(m, k)
+	focusTile := TileAt(m, kc, center)
+	return ChunkView{
+		Center:     center,
+		SpeedLB:    tr.SpeedAt(tMid),
+		LumaChange: swing,
+		FocusDoF:   m.Chunks[kc].Tiles[focusTile].AvgDoF,
+	}
+}
+
+// ViewportPSNR is ViewportPSPNR's JND-agnostic sibling: the
+// area-weighted plain PSNR of the tiles under the true viewport. It is
+// the "PSNR" reference predictor of Figure 8.
+func ViewportPSNR(m *manifest.Video, k int, alloc abr.Allocation, center geom.Angle) float64 {
+	g := geom.Frame{W: m.W, H: m.H}
+	foot := geom.DefaultViewport(center).Footprint(g)
+	var num, den float64
+	for i := range m.Chunks[k].Tiles {
+		t := &m.Chunks[k].Tiles[i]
+		overlap := 0
+		for _, r := range foot {
+			overlap += t.Rect.OverlapArea(r)
+		}
+		if overlap == 0 {
+			continue
+		}
+		num += float64(overlap) * PMSEFromPSPNR(t.PSNR[alloc[i]])
+		den += float64(overlap)
+	}
+	if den == 0 {
+		return 0
+	}
+	return quality.PSPNRFromPMSE(num / den)
+}
+
+func clampChunk(m *manifest.Video, k int) int {
+	if k < 0 {
+		return 0
+	}
+	if k >= m.NumChunks() {
+		return m.NumChunks() - 1
+	}
+	return k
+}
+
+// FramePSPNR is the client's whole-panorama PSPNR estimate for chunk k
+// under a given view: the §6.1 objective evaluated from the manifest's
+// lookup table. The viewpoint enters only through the per-tile factors
+// (Equation 4), never as a visibility mask. A nil profile forces the
+// action ratio to 1 (traditional content-JND PSPNR).
+func FramePSPNR(m *manifest.Video, k int, alloc abr.Allocation, view ChunkView, prof *jnd.Profile) float64 {
+	var num, den float64
+	for i := range m.Chunks[k].Tiles {
+		t := &m.Chunks[k].Tiles[i]
+		ratio := 1.0
+		if prof != nil {
+			ratio = prof.ActionRatio(FactorsFor(t, view))
+		}
+		p := EstimatePSPNR(t, alloc[i], ratio)
+		area := float64(t.Rect.Area())
+		num += area * PMSEFromPSPNR(p)
+		den += area
+	}
+	if den == 0 {
+		return 0
+	}
+	return quality.PSPNRFromPMSE(num / den)
+}
+
+// FramePSNR is the JND-agnostic whole-panorama PSNR of a delivered
+// chunk — the "PSNR" reference predictor of Figure 8.
+func FramePSNR(m *manifest.Video, k int, alloc abr.Allocation) float64 {
+	var num, den float64
+	for i := range m.Chunks[k].Tiles {
+		t := &m.Chunks[k].Tiles[i]
+		area := float64(t.Rect.Area())
+		num += area * PMSEFromPSPNR(t.PSNR[alloc[i]])
+		den += area
+	}
+	if den == 0 {
+		return 0
+	}
+	return quality.PSPNRFromPMSE(num / den)
+}
+
+// ViewportPSPNR scores the quality the user actually perceives for
+// chunk k: the area-weighted perceptible distortion of the tiles
+// covered by the true viewport, under the true factors, aggregated to
+// dB (the evaluation metric of §8.1). A nil profile disables the
+// action-dependent ratio (A=1), yielding the traditional
+// content-JND-only PSPNR.
+func ViewportPSPNR(m *manifest.Video, k int, alloc abr.Allocation, actual ChunkView, prof *jnd.Profile) float64 {
+	g := geom.Frame{W: m.W, H: m.H}
+	vp := geom.DefaultViewport(actual.Center)
+	foot := vp.Footprint(g)
+	var num, den float64
+	for i := range m.Chunks[k].Tiles {
+		t := &m.Chunks[k].Tiles[i]
+		overlap := 0
+		for _, r := range foot {
+			overlap += t.Rect.OverlapArea(r)
+		}
+		if overlap == 0 {
+			continue
+		}
+		ratio := 1.0
+		if prof != nil {
+			ratio = prof.ActionRatio(FactorsFor(t, actual))
+		}
+		p := EstimatePSPNR(t, alloc[i], ratio)
+		num += float64(overlap) * PMSEFromPSPNR(p)
+		den += float64(overlap)
+	}
+	if den == 0 {
+		return 0
+	}
+	return quality.PSPNRFromPMSE(num / den)
+}

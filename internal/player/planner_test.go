@@ -1,0 +1,153 @@
+package player
+
+import (
+	"testing"
+
+	"pano/internal/codec"
+	"pano/internal/jnd"
+)
+
+func TestPlannerNames(t *testing.T) {
+	if NewPanoPlanner().Name() != "pano" {
+		t.Error("pano planner name")
+	}
+	trad := NewPanoPlanner()
+	trad.Traditional = true
+	if trad.Name() != "pano-traditional-jnd" {
+		t.Error("traditional planner name")
+	}
+	if NewViewportPlanner("flare").Name() != "flare" {
+		t.Error("viewport planner name")
+	}
+	if (WholePlanner{}).Name() != "whole-video" {
+		t.Error("whole planner name")
+	}
+}
+
+func TestTraditionalAblationIgnoresMotion(t *testing.T) {
+	// With Traditional set, the plan must be identical whether the
+	// viewpoint is static or fast-moving (same center), because the
+	// action ratio is forced to 1.
+	m, tr := fixture(t)
+	est := NewEstimator()
+	slow := est.View(m, tr, 1, 0.5)
+	slow.SpeedLB = 0
+	fast := slow
+	fast.SpeedLB = 25
+
+	trad := NewPanoPlanner()
+	trad.Traditional = true
+	budget := m.ChunkBits(1, codec.Level(2))
+	a := trad.Plan(m, 1, slow, budget)
+	b := trad.Plan(m, 1, fast, budget)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("traditional planner should ignore viewpoint speed")
+		}
+	}
+	// The full planner must react to the speed change.
+	full := NewPanoPlanner()
+	c := full.Plan(m, 1, slow, budget)
+	d := full.Plan(m, 1, fast, budget)
+	same := true
+	for i := range c {
+		if c[i] != d[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("full planner should react to viewpoint speed")
+	}
+}
+
+func TestPanoPlannerNilProfileDefaults(t *testing.T) {
+	m, tr := fixture(t)
+	est := NewEstimator()
+	view := est.View(m, tr, 0, 0)
+	pl := &PanoPlanner{} // nil Profile, zero Hedge: defaults apply
+	alloc := pl.Plan(m, 0, view, m.ChunkBits(0, codec.Level(2)))
+	if len(alloc) != len(m.Chunks[0].Tiles) {
+		t.Fatal("nil-profile planner should still allocate")
+	}
+}
+
+func TestViewportPSPNRNilProfileIsTraditional(t *testing.T) {
+	m, tr := fixture(t)
+	est := NewEstimator()
+	actual := est.ActualView(m, tr, 1)
+	actual.SpeedLB = 20 // strong motion
+	n := len(m.Chunks[1].Tiles)
+	alloc := make([]codec.Level, n)
+	for i := range alloc {
+		alloc[i] = codec.Level(codec.NumLevels - 1)
+	}
+	with := ViewportPSPNR(m, 1, alloc, actual, jnd.Default())
+	without := ViewportPSPNR(m, 1, alloc, actual, nil)
+	if with < without {
+		t.Errorf("360JND PSPNR %v should be >= traditional %v under motion", with, without)
+	}
+}
+
+func TestViewportPSNRRange(t *testing.T) {
+	m, tr := fixture(t)
+	actual := NewEstimator().ActualView(m, tr, 1)
+	n := len(m.Chunks[1].Tiles)
+	best := make([]codec.Level, n)
+	worst := make([]codec.Level, n)
+	for i := range worst {
+		worst[i] = codec.Level(codec.NumLevels - 1)
+	}
+	pb := ViewportPSNR(m, 1, best, actual.Center)
+	pw := ViewportPSNR(m, 1, worst, actual.Center)
+	if pb <= pw {
+		t.Errorf("PSNR best %v should exceed worst %v", pb, pw)
+	}
+	if pw <= 0 || pb > 100 {
+		t.Errorf("PSNR out of range: %v %v", pw, pb)
+	}
+}
+
+func TestFramePSPNRProperties(t *testing.T) {
+	m, tr := fixture(t)
+	est := NewEstimator()
+	actual := est.ActualView(m, tr, 1)
+	n := len(m.Chunks[1].Tiles)
+	best := make([]codec.Level, n)
+	worst := make([]codec.Level, n)
+	for i := range worst {
+		worst[i] = codec.Level(codec.NumLevels - 1)
+	}
+	prof := jnd.Default()
+	pb := FramePSPNR(m, 1, best, actual, prof)
+	pw := FramePSPNR(m, 1, worst, actual, prof)
+	if pb <= pw {
+		t.Errorf("best-levels frame PSPNR %v should exceed worst %v", pb, pw)
+	}
+	// 360JND never scores below the traditional content-only PSPNR.
+	actual.SpeedLB = 15
+	with := FramePSPNR(m, 1, worst, actual, prof)
+	without := FramePSPNR(m, 1, worst, actual, nil)
+	if with < without {
+		t.Errorf("360JND frame PSPNR %v below traditional %v", with, without)
+	}
+	// PSNR ordering too.
+	if FramePSNR(m, 1, best) <= FramePSNR(m, 1, worst) {
+		t.Error("frame PSNR should improve with better levels")
+	}
+}
+
+func TestBestGuessViewUsesCurrentSpeed(t *testing.T) {
+	m, tr := fixture(t)
+	est := NewEstimator()
+	now := 2.0
+	guess := est.BestGuessView(m, tr, 3, now)
+	if got, want := guess.SpeedLB, tr.SpeedAt(now); got != want {
+		t.Errorf("best guess speed = %v, want current %v", got, want)
+	}
+	// The conservative view never exceeds the best guess.
+	view := est.View(m, tr, 3, now)
+	if view.SpeedLB > guess.SpeedLB+1e-9 {
+		t.Errorf("lower bound %v exceeds best guess %v", view.SpeedLB, guess.SpeedLB)
+	}
+}

@@ -1,0 +1,228 @@
+package player
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"pano/internal/abr"
+	"pano/internal/codec"
+	"pano/internal/geom"
+	"pano/internal/jnd"
+	"pano/internal/manifest"
+	"pano/internal/provider"
+	"pano/internal/scene"
+	"pano/internal/viewport"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureMan  *manifest.Video
+	fixtureTr   *viewport.Trace
+)
+
+func fixture(t *testing.T) (*manifest.Video, *viewport.Trace) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		v := scene.Generate(scene.Sports, 17, scene.Options{W: 240, H: 120, FPS: 10, DurationSec: 5})
+		tr := viewport.Synthesize(v, 3, viewport.DefaultSynthesizeOpts())
+		m, err := provider.Preprocess(v, []*viewport.Trace{tr}, provider.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		fixtureMan = m
+		fixtureTr = tr
+	})
+	return fixtureMan, fixtureTr
+}
+
+func TestTileAtFindsContainingTile(t *testing.T) {
+	m, _ := fixture(t)
+	g := geom.Frame{W: m.W, H: m.H}
+	for _, a := range []geom.Angle{{Yaw: 0, Pitch: 0}, {Yaw: -170, Pitch: 80}, {Yaw: 120, Pitch: -45}} {
+		i := TileAt(m, 0, a)
+		x, y := g.ToPixel(a)
+		if !m.Chunks[0].Tiles[i].Rect.Contains(x, y) {
+			t.Errorf("TileAt(%v) = %d does not contain the pixel", a, i)
+		}
+	}
+}
+
+func TestFactorsForConservativeSpeed(t *testing.T) {
+	tile := &manifest.Tile{ObjSpeedDeg: 8}
+	// Viewpoint bound slower than the object: conservative relative
+	// speed clamps to zero (the user may be tracking it).
+	f := FactorsFor(tile, ChunkView{SpeedLB: 5})
+	if f.SpeedDegS != 0 {
+		t.Errorf("rel speed = %v, want 0", f.SpeedDegS)
+	}
+	// Faster bound: the excess is the guaranteed relative motion.
+	f = FactorsFor(tile, ChunkView{SpeedLB: 20})
+	if f.SpeedDegS != 12 {
+		t.Errorf("rel speed = %v, want 12", f.SpeedDegS)
+	}
+	// DoF difference is absolute.
+	f = FactorsFor(&manifest.Tile{AvgDoF: 0.2}, ChunkView{FocusDoF: 1.0})
+	if math.Abs(f.DoFDiff-0.8) > 1e-12 {
+		t.Errorf("dof diff = %v, want 0.8", f.DoFDiff)
+	}
+}
+
+func TestEstimatePSPNRUsesLUT(t *testing.T) {
+	tile := &manifest.Tile{}
+	tile.RefPSPNR[2] = 60
+	tile.LUT[2] = manifest.PowerLUT{ACoeff: 1, BExp: 0.2}
+	if got := EstimatePSPNR(tile, 2, 1); math.Abs(got-60) > 1e-9 {
+		t.Errorf("A=1 estimate = %v, want ref", got)
+	}
+	if EstimatePSPNR(tile, 2, 4) <= 60 {
+		t.Error("larger action ratio should raise the estimate")
+	}
+}
+
+func TestPMSEFromPSPNRInverse(t *testing.T) {
+	for _, p := range []float64{40, 55, 70, 85} {
+		m := PMSEFromPSPNR(p)
+		back := 20 * math.Log10(255/math.Sqrt(m))
+		if math.Abs(back-p) > 1e-9 {
+			t.Errorf("inverse broken at %v: %v", p, back)
+		}
+	}
+	if PMSEFromPSPNR(100) != 0 {
+		t.Error("capped PSPNR should invert to zero PMSE")
+	}
+}
+
+func TestVisibility(t *testing.T) {
+	m, _ := fixture(t)
+	tile := &m.Chunks[0].Tiles[0]
+	center := geom.Frame{W: m.W, H: m.H}.ToAngle(
+		(tile.Rect.X0+tile.Rect.X1)/2, (tile.Rect.Y0+tile.Rect.Y1)/2)
+	if v := Visibility(m, tile, center, 0, 0.05); v != 1 {
+		t.Errorf("tile under viewport center visibility = %v, want 1", v)
+	}
+	anti := geom.Angle{Yaw: center.Yaw + 180, Pitch: -center.Pitch}.Norm()
+	if v := Visibility(m, tile, anti, 0, 0.05); v != 0.05 {
+		t.Errorf("antipodal visibility = %v, want floor", v)
+	}
+}
+
+func TestPlannersRespectBudget(t *testing.T) {
+	m, tr := fixture(t)
+	est := NewEstimator()
+	view := est.View(m, tr, 1, 0.5)
+	for _, pl := range []Planner{NewPanoPlanner(), NewViewportPlanner("flare"), WholePlanner{}} {
+		for _, mult := range []float64{1.2, 2.5, 6} {
+			budget := m.ChunkBits(1, codec.Level(codec.NumLevels-1)) * mult
+			alloc := pl.Plan(m, 1, view, budget)
+			if len(alloc) != len(m.Chunks[1].Tiles) {
+				t.Fatalf("%s: allocation length %d", pl.Name(), len(alloc))
+			}
+			var bits float64
+			for i, l := range alloc {
+				if !l.Valid() {
+					t.Fatalf("%s: invalid level %v", pl.Name(), l)
+				}
+				bits += m.Chunks[1].Tiles[i].Bits[l]
+			}
+			if bits > budget+1e-6 {
+				t.Errorf("%s at x%v: bits %v over budget %v", pl.Name(), mult, bits, budget)
+			}
+		}
+	}
+}
+
+func TestPanoPlannerFavorsSensitiveTiles(t *testing.T) {
+	// §6.1: at a constrained budget, tiles where the user is sensitive
+	// (low action ratio) should receive better (lower) levels than
+	// tiles whose distortion is masked by viewpoint motion.
+	m, tr := fixture(t)
+	est := NewEstimator()
+	view := est.View(m, tr, 1, 0.5)
+	view.SpeedLB = 15 // ensure a meaningful sensitivity spread
+	budget := m.ChunkBits(1, codec.Level(2))
+	pl := NewPanoPlanner()
+	alloc := pl.Plan(m, 1, view, budget)
+
+	prof := pl.Profile
+	var sensitive, forgiving []float64
+	for i, l := range alloc {
+		tile := &m.Chunks[1].Tiles[i]
+		a := prof.ActionRatio(FactorsFor(tile, view))
+		if a < 2 {
+			sensitive = append(sensitive, float64(l))
+		} else if a > 4 {
+			forgiving = append(forgiving, float64(l))
+		}
+	}
+	if len(sensitive) == 0 || len(forgiving) == 0 {
+		t.Skip("degenerate sensitivity split")
+	}
+	if mean(sensitive) >= mean(forgiving) {
+		t.Errorf("sensitive tiles mean level %v should be better (lower) than forgiving %v",
+			mean(sensitive), mean(forgiving))
+	}
+}
+
+func TestWholePlannerUniform(t *testing.T) {
+	m, tr := fixture(t)
+	view := NewEstimator().View(m, tr, 0, 0)
+	alloc := WholePlanner{}.Plan(m, 0, view, m.ChunkBits(0, 1))
+	for _, l := range alloc[1:] {
+		if l != alloc[0] {
+			t.Fatal("whole-video planner must assign one uniform level")
+		}
+	}
+	// Unaffordable budget falls back to the lowest level.
+	starved := WholePlanner{}.Plan(m, 0, view, 1)
+	if starved[0] != codec.Level(codec.NumLevels-1) {
+		t.Errorf("starved level = %v, want lowest", starved[0])
+	}
+}
+
+func TestEstimatorViews(t *testing.T) {
+	m, tr := fixture(t)
+	est := NewEstimator()
+	view := est.View(m, tr, 2, 1.5)
+	if view.SpeedLB < 0 {
+		t.Error("speed bound negative")
+	}
+	if view.LumaChange < 0 {
+		t.Error("luma change negative")
+	}
+	actual := est.ActualView(m, tr, 2)
+	if actual.SpeedLB < 0 {
+		t.Error("actual speed negative")
+	}
+	// The lower bound must not exceed the actual speed by much on a
+	// smooth trace (it is designed to be conservative).
+	if view.SpeedLB > actual.SpeedLB+25 {
+		t.Errorf("speed LB %v far above actual %v", view.SpeedLB, actual.SpeedLB)
+	}
+}
+
+func TestViewportPSPNRHigherForBetterLevels(t *testing.T) {
+	m, tr := fixture(t)
+	est := NewEstimator()
+	actual := est.ActualView(m, tr, 1)
+	n := len(m.Chunks[1].Tiles)
+	best := make(abr.Allocation, n)  // all level 0
+	worst := make(abr.Allocation, n) // all lowest
+	for i := range worst {
+		worst[i] = codec.Level(codec.NumLevels - 1)
+	}
+	prof := jnd.Default()
+	pb := ViewportPSPNR(m, 1, best, actual, prof)
+	pw := ViewportPSPNR(m, 1, worst, actual, prof)
+	if pb <= pw {
+		t.Errorf("best-levels PSPNR %v should exceed worst %v", pb, pw)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

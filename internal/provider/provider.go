@@ -1,0 +1,440 @@
+// Package provider implements the video provider's offline preprocessing
+// pipeline (§5, §6.3, §7):
+//
+//  1. Chunk the video into 1 s chunks and compute per-unit-tile
+//     efficiency scores (Equation 5) averaged over history viewpoint
+//     traces.
+//  2. Group unit tiles into N variable-size tiles (Pano), a uniform
+//     grid (Flare-style baselines), bit-driven clusters (ClusTile), or
+//     one whole-frame tile.
+//  3. For every tile and quality level, estimate the encoded size and
+//     the PSPNR-vs-action-ratio curve, compressed to the power-law
+//     schema of Figure 12(c), and assemble the manifest.
+//
+// Feature extraction (object trajectories, luminance, depth) uses the
+// scene's ground truth, standing in for the paper's Yolo+KCF tracking.
+package provider
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pano/internal/codec"
+	"pano/internal/frame"
+	"pano/internal/geom"
+	"pano/internal/jnd"
+	"pano/internal/manifest"
+	"pano/internal/quality"
+	"pano/internal/scene"
+	"pano/internal/tiling"
+	"pano/internal/viewport"
+)
+
+// Mode selects the tiling strategy.
+type Mode int
+
+// Tiling strategies.
+const (
+	// ModePano groups unit tiles by PSPNR-efficiency similarity (§5).
+	ModePano Mode = iota
+	// ModeUniform uses a fixed uniform grid (viewport-driven baselines).
+	ModeUniform
+	// ModeClusTile groups unit tiles by encoded-size similarity,
+	// approximating ClusTile's compression-efficiency clustering.
+	ModeClusTile
+	// ModeWhole streams the entire frame as a single tile.
+	ModeWhole
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModePano:
+		return "pano"
+	case ModeUniform:
+		return "uniform"
+	case ModeClusTile:
+		return "clustile"
+	case ModeWhole:
+		return "whole"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config controls preprocessing.
+type Config struct {
+	Mode Mode
+	// Grid is the uniform grid for ModeUniform (default 6×12, Flare's).
+	Grid tiling.Grid
+	// Tiles is N, the number of variable-size tiles (default 30).
+	Tiles int
+	// ChunkSec is the chunk duration (default 1 s).
+	ChunkSec float64
+	// FrameStride samples one frame in this many for quality estimation
+	// (default 10, the §6.3 optimization; 1 = per-frame PSPNR).
+	FrameStride int
+	// Profile is the 360JND profile (default jnd.Default()).
+	Profile *jnd.Profile
+	// Encoder is the codec model (default codec.NewEncoder()).
+	Encoder *codec.Encoder
+	// LumaWindowSec is the luminance-change lookback (default 5 s).
+	LumaWindowSec float64
+}
+
+// DefaultConfig returns Pano's defaults.
+func DefaultConfig() Config {
+	return Config{
+		Mode:          ModePano,
+		Grid:          tiling.Grid6x12,
+		Tiles:         tiling.DefaultTiles,
+		ChunkSec:      1,
+		FrameStride:   10,
+		Profile:       jnd.Default(),
+		Encoder:       codec.NewEncoder(),
+		LumaWindowSec: 5,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.Grid.Rows == 0 || c.Grid.Cols == 0 {
+		c.Grid = d.Grid
+	}
+	if c.Tiles == 0 {
+		c.Tiles = d.Tiles
+	}
+	if c.ChunkSec == 0 {
+		c.ChunkSec = d.ChunkSec
+	}
+	if c.FrameStride == 0 {
+		c.FrameStride = d.FrameStride
+	}
+	if c.Profile == nil {
+		c.Profile = d.Profile
+	}
+	if c.Encoder == nil {
+		c.Encoder = d.Encoder
+	}
+	if c.LumaWindowSec == 0 {
+		c.LumaWindowSec = d.LumaWindowSec
+	}
+}
+
+// Preprocess builds the manifest for a video given history viewpoint
+// traces (may be empty: scores then assume a static viewpoint).
+func Preprocess(v *scene.Video, history []*viewport.Trace, cfg Config) (*manifest.Video, error) {
+	cfg.fillDefaults()
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	if v.W%tiling.UnitCols != 0 || v.H%tiling.UnitRows != 0 {
+		return nil, fmt.Errorf("provider: video %dx%d not divisible by unit grid %dx%d",
+			v.W, v.H, tiling.UnitCols, tiling.UnitRows)
+	}
+	numChunks := int(float64(v.DurationSec) / cfg.ChunkSec)
+	if numChunks == 0 {
+		return nil, fmt.Errorf("provider: video shorter than one chunk")
+	}
+	out := &manifest.Video{
+		Name:     v.Name,
+		Genre:    v.Genre.String(),
+		W:        v.W,
+		H:        v.H,
+		FPS:      v.FPS,
+		ChunkSec: cfg.ChunkSec,
+	}
+	p := &preprocessor{cfg: cfg, video: v, history: history}
+
+	// Chunks are independent; preprocess them in parallel, bounded by
+	// the CPU count (each worker renders, distorts, and analyzes its
+	// own frames — there is no shared mutable state).
+	out.Chunks = make([]manifest.Chunk, numChunks)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > numChunks {
+		workers = numChunks
+	}
+	var (
+		wg       sync.WaitGroup
+		next     int64 = -1
+		firstErr error
+		errOnce  sync.Once
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(atomic.AddInt64(&next, 1))
+				if k >= numChunks {
+					return
+				}
+				ch, err := p.chunk(k)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("provider: chunk %d: %w", k, err)
+					})
+					return
+				}
+				out.Chunks[k] = ch
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("provider: produced invalid manifest: %w", err)
+	}
+	return out, nil
+}
+
+type preprocessor struct {
+	cfg     Config
+	video   *scene.Video
+	history []*viewport.Trace
+}
+
+// sampledFrame bundles one analyzed frame: the original, its content
+// JND field, and the per-level distorted versions.
+type sampledFrame struct {
+	orig      *frame.Frame
+	content   []float64 // full-frame content JND, row-major
+	distorted [codec.NumLevels]*frame.Frame
+}
+
+func (p *preprocessor) analyzeFrame(idx int) (*sampledFrame, error) {
+	orig := p.video.RenderFrame(idx)
+	sf := &sampledFrame{
+		orig:    orig,
+		content: jnd.ContentField(orig, geom.Rect{X1: orig.W, Y1: orig.H}),
+	}
+	full := geom.Rect{X1: orig.W, Y1: orig.H}
+	for l := 0; l < codec.NumLevels; l++ {
+		d, err := p.cfg.Encoder.DistortRegion(orig, full, codec.Level(l).QP())
+		if err != nil {
+			return nil, err
+		}
+		sf.distorted[l] = d
+	}
+	return sf, nil
+}
+
+// pmseAtAnchors computes, for one rect of one sampled frame and level,
+// the PMSE at each anchor action ratio in a single pass.
+func pmseAtAnchors(sf *sampledFrame, level int, r geom.Rect, anchors []float64) []float64 {
+	sums := make([]float64, len(anchors))
+	w := sf.orig.W
+	enc := sf.distorted[level]
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			d := math.Abs(float64(sf.orig.Pix[y*w+x]) - float64(enc.Pix[y*w+x]))
+			if d == 0 {
+				continue
+			}
+			c := sf.content[y*w+x]
+			for ai, a := range anchors {
+				th := c * a
+				if d >= th {
+					ex := d - th
+					sums[ai] += ex * ex
+				}
+			}
+		}
+	}
+	area := float64(r.Area())
+	for ai := range sums {
+		sums[ai] /= area
+	}
+	return sums
+}
+
+// chunkFactors estimates, per unit tile, the mean action ratio over the
+// history traces at the chunk midpoint (used to weight the efficiency
+// scores with realistic viewing behaviour, §5's "calculating efficiency
+// scores offline").
+func (p *preprocessor) chunkFactors(k int, rects []geom.Rect) []float64 {
+	tMid := (float64(k) + 0.5) * p.cfg.ChunkSec
+	out := make([]float64, len(rects))
+	if len(p.history) == 0 {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	for i, r := range rects {
+		objSpeed, tileDoF := p.tileMotionDepth(r, tMid)
+		var sumA float64
+		for _, tr := range p.history {
+			vpSpeed := tr.SpeedAt(tMid)
+			rel := math.Abs(vpSpeed - objSpeed)
+			focusDoF := p.video.DepthAt(tr.At(tMid), tMid)
+			dof := math.Abs(tileDoF - focusDoF)
+			luma := tr.MaxLumaChange(tMid, p.cfg.LumaWindowSec, p.video.LumaAt)
+			sumA += p.cfg.Profile.ActionRatio(jnd.Factors{
+				SpeedDegS:  rel,
+				DoFDiff:    dof,
+				LumaChange: luma,
+			})
+		}
+		out[i] = sumA / float64(len(p.history))
+	}
+	return out
+}
+
+// tileMotionDepth samples the tile's mean object speed (0 where only
+// background is visible) and mean depth at time t.
+func (p *preprocessor) tileMotionDepth(r geom.Rect, t float64) (objSpeed, depth float64) {
+	g := p.video.Geometry()
+	const grid = 4
+	var sSum, dSum float64
+	var n int
+	for gy := 0; gy < grid; gy++ {
+		for gx := 0; gx < grid; gx++ {
+			x := r.X0 + (2*gx+1)*r.W()/(2*grid)
+			y := r.Y0 + (2*gy+1)*r.H()/(2*grid)
+			a := g.ToAngle(x, y)
+			if o := p.video.ObjectAt(a, t); o != nil {
+				sSum += o.SpeedDegS()
+				dSum += o.Depth
+			} else {
+				dSum += p.video.BgDepthAt(a)
+			}
+			n++
+		}
+	}
+	return sSum / float64(n), dSum / float64(n)
+}
+
+func (p *preprocessor) chunk(k int) (manifest.Chunk, error) {
+	framesPerChunk := int(p.cfg.ChunkSec * float64(p.video.FPS))
+	first := k * framesPerChunk
+
+	// Sampled frames for quality estimation (1 in FrameStride).
+	var samples []*sampledFrame
+	for f := first; f < first+framesPerChunk; f += p.cfg.FrameStride {
+		sf, err := p.analyzeFrame(f)
+		if err != nil {
+			return manifest.Chunk{}, err
+		}
+		samples = append(samples, sf)
+	}
+	// A mid-chunk frame for temporal activity.
+	next := p.video.RenderFrame(first + framesPerChunk/2)
+	key := samples[0].orig
+
+	// Step 1-2: unit-tile efficiency scores.
+	unitGrid := tiling.Grid12x24
+	unitRects := unitGrid.Rects(p.video.W, p.video.H)
+	ratios := p.chunkFactors(k, unitRects)
+	scores := make([][]float64, tiling.UnitRows)
+	bitScores := make([][]float64, tiling.UnitRows)
+	for r := range scores {
+		scores[r] = make([]float64, tiling.UnitCols)
+		bitScores[r] = make([]float64, tiling.UnitCols)
+	}
+	for i, ur := range unitRects {
+		row, col := i/tiling.UnitCols, i%tiling.UnitCols
+		// PSPNR at the highest and lowest levels averaged over sampled
+		// frames, with JND scaled by the history-average action ratio.
+		var hi, lo float64
+		for _, sf := range samples {
+			hiP := pmseAtAnchors(sf, 0, ur, []float64{ratios[i]})[0]
+			loP := pmseAtAnchors(sf, codec.NumLevels-1, ur, []float64{ratios[i]})[0]
+			hi += hiP
+			lo += loP
+		}
+		n := float64(len(samples))
+		pHi := quality.PSPNRFromPMSE(hi / n)
+		pLo := quality.PSPNRFromPMSE(lo / n)
+		scores[row][col] = (pHi - pLo) / float64(codec.NumLevels-1) // Equation 5
+		bitScores[row][col] = p.cfg.Encoder.FrameRegionBits(key, ur, codec.Level(2).QP())
+	}
+
+	// Step 3: choose the layout.
+	var layout tiling.Layout
+	var err error
+	switch p.cfg.Mode {
+	case ModePano:
+		layout, err = tiling.VariableTiling(scores, p.cfg.Tiles)
+	case ModeUniform:
+		layout, err = tiling.UniformLayout(p.cfg.Grid)
+	case ModeClusTile:
+		layout, err = tiling.VariableTiling(bitScores, p.cfg.Tiles)
+	case ModeWhole:
+		layout = tiling.Layout{Rows: tiling.UnitRows, Cols: tiling.UnitCols,
+			Tiles: []tiling.UnitRect{{R0: 0, C0: 0, R1: tiling.UnitRows, C1: tiling.UnitCols}}}
+	default:
+		err = fmt.Errorf("unknown mode %v", p.cfg.Mode)
+	}
+	if err != nil {
+		return manifest.Chunk{}, err
+	}
+
+	// Step 4: per-tile metadata, sizes and PSPNR LUT.
+	ch := manifest.Chunk{Index: k}
+	tMid := (float64(k) + 0.5) * p.cfg.ChunkSec
+	for _, ut := range layout.Tiles {
+		r := ut.Pixels(p.video.W, p.video.H, layout.Rows, layout.Cols)
+		t := manifest.Tile{Rect: r}
+		t.AvgLuma = key.MeanLuma(r)
+		objSpeed, depth := p.tileMotionDepth(r, tMid)
+		t.ObjSpeedDeg = objSpeed
+		t.AvgDoF = depth
+		var pspnrs [codec.NumLevels][]float64
+		for l := 0; l < codec.NumLevels; l++ {
+			t.Bits[l] = p.cfg.Encoder.TileChunkBits(key, next, r, codec.Level(l).QP(), framesPerChunk)
+			// Plain MSE (the A=0 anchor degenerates to unfiltered error)
+			// feeds the JND-agnostic PSNR used by the baselines.
+			var mse float64
+			for _, sf := range samples {
+				mse += pmseAtAnchors(sf, l, r, []float64{0})[0]
+			}
+			t.PSNR[l] = quality.PSNR(mse / float64(len(samples)))
+			if l > 0 && t.PSNR[l] > t.PSNR[l-1] {
+				t.PSNR[l] = t.PSNR[l-1]
+			}
+			// PMSE at every anchor ratio, averaged over sampled frames.
+			acc := make([]float64, len(manifest.AnchorRatios))
+			for _, sf := range samples {
+				for ai, v := range pmseAtAnchors(sf, l, r, manifest.AnchorRatios) {
+					acc[ai] += v
+				}
+			}
+			pspnrs[l] = make([]float64, len(acc))
+			for ai := range acc {
+				pspnrs[l][ai] = quality.PSPNRFromPMSE(acc[ai] / float64(len(samples)))
+			}
+			// Enforce monotonicity across levels: a coarser quantizer
+			// occasionally rounds marginally better in a tile, but the
+			// quality model (and the allocator's cost ordering) assume
+			// PSPNR never improves as quality drops.
+			if l > 0 {
+				for ai := range pspnrs[l] {
+					if pspnrs[l][ai] > pspnrs[l-1][ai] {
+						pspnrs[l][ai] = pspnrs[l-1][ai]
+					}
+				}
+			}
+			t.RefPSPNR[l] = pspnrs[l][0] // anchor 0 is A=1
+			t.LUT[l] = manifest.FitPowerLUT(t.RefPSPNR[l], manifest.AnchorRatios, pspnrs[l])
+		}
+		ch.Tiles = append(ch.Tiles, t)
+	}
+
+	// Object trajectory track: one sample per FrameStride frames (§7).
+	for f := first; f < first+framesPerChunk; f += p.cfg.FrameStride {
+		tt := float64(f) / float64(p.video.FPS)
+		for _, o := range p.video.Objects {
+			pos := o.PositionAt(tt)
+			ch.Objects = append(ch.Objects, manifest.ObjectSample{
+				T: tt - float64(k)*p.cfg.ChunkSec, Yaw: pos.Yaw, Pitch: pos.Pitch,
+				SpeedDeg: o.SpeedDegS(), Depth: o.Depth,
+			})
+		}
+	}
+	return ch, nil
+}

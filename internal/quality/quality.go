@@ -1,0 +1,159 @@
+// Package quality implements the perceptual quality metrics of §4:
+// PSNR, and PSPNR with pluggable JND (traditional content-only JND or
+// the 360JND that also weighs viewpoint movement), plus the PSPNR→MOS
+// band mapping of Table 3.
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"pano/internal/frame"
+	"pano/internal/geom"
+	"pano/internal/jnd"
+)
+
+// PSPNRCap bounds reported PSPNR; with zero perceptible noise the metric
+// is unbounded, and the paper's plots top out well below this.
+const PSPNRCap = 100.0
+
+// PSNR returns the peak signal-to-noise ratio in dB for a mean squared
+// error, capped at PSPNRCap for near-zero error.
+func PSNR(mse float64) float64 {
+	if mse <= 0 {
+		return PSPNRCap
+	}
+	p := 20 * math.Log10(255/math.Sqrt(mse))
+	return math.Min(p, PSPNRCap)
+}
+
+// PSPNRFromPMSE converts a perceptible mean squared error M into PSPNR
+// per Equation 1: P = 20·log10(255/sqrt(M)).
+func PSPNRFromPMSE(pmse float64) float64 { return PSNR(pmse) }
+
+// PMSE computes the perceptible mean squared error of Equations 2–3 over
+// matching frames, given a per-pixel JND field (row-major, same size):
+// only error beyond the JND counts, and it counts by its excess.
+func PMSE(orig, enc *frame.Frame, jndField []float64) (float64, error) {
+	if orig.W != enc.W || orig.H != enc.H {
+		return 0, fmt.Errorf("quality: frame size mismatch %dx%d vs %dx%d", orig.W, orig.H, enc.W, enc.H)
+	}
+	if len(jndField) != len(orig.Pix) {
+		return 0, fmt.Errorf("quality: jnd field len %d, want %d", len(jndField), len(orig.Pix))
+	}
+	var sum float64
+	for i := range orig.Pix {
+		diff := math.Abs(float64(orig.Pix[i]) - float64(enc.Pix[i]))
+		if diff >= jndField[i] && diff > 0 {
+			ex := diff - jndField[i]
+			sum += ex * ex
+		}
+	}
+	return sum / float64(len(orig.Pix)), nil
+}
+
+// UniformJND returns a constant JND field of the given size.
+func UniformJND(w, h int, v float64) []float64 {
+	f := make([]float64, w*h)
+	for i := range f {
+		f[i] = v
+	}
+	return f
+}
+
+// ScaleField multiplies every entry of a JND field by k, returning a new
+// slice. It implements the content/action decomposition of Equation 4:
+// the content field is computed once and the action ratio applied per
+// viewpoint state.
+func ScaleField(field []float64, k float64) []float64 {
+	out := make([]float64, len(field))
+	for i, v := range field {
+		out[i] = v * k
+	}
+	return out
+}
+
+// TilePSPNR computes the PSPNR of region r: orig vs enc (enc is the
+// distorted rendering of the same region, sized r.W() x r.H()), with the
+// content JND from orig scaled by the action ratio of factors f under
+// profile p. Pass a nil profile for traditional (content-only) PSPNR.
+func TilePSPNR(p *jnd.Profile, orig *frame.Frame, enc *frame.Frame, r geom.Rect, f jnd.Factors) (float64, error) {
+	content := jnd.ContentField(orig, r)
+	ratio := 1.0
+	if p != nil {
+		ratio = p.ActionRatio(f)
+	}
+	field := ScaleField(content, ratio)
+	sub, err := orig.Region(r)
+	if err != nil {
+		return 0, err
+	}
+	pmse, err := PMSE(sub, enc, field)
+	if err != nil {
+		return 0, err
+	}
+	return PSPNRFromPMSE(pmse), nil
+}
+
+// TilePMSE is TilePSPNR but returns the raw perceptible MSE, which the
+// tile-level allocator aggregates area-weighted before converting to dB
+// (§6.1).
+func TilePMSE(p *jnd.Profile, orig *frame.Frame, enc *frame.Frame, r geom.Rect, f jnd.Factors) (float64, error) {
+	content := jnd.ContentField(orig, r)
+	ratio := 1.0
+	if p != nil {
+		ratio = p.ActionRatio(f)
+	}
+	field := ScaleField(content, ratio)
+	sub, err := orig.Region(r)
+	if err != nil {
+		return 0, err
+	}
+	return PMSE(sub, enc, field)
+}
+
+// AggregatePSPNR combines per-tile PMSEs into the chunk PSPNR of §6.1:
+// P = 20·log10(255/sqrt(M)) with M the area-weighted mean of tile PMSEs.
+func AggregatePSPNR(pmses, areas []float64) float64 {
+	if len(pmses) == 0 || len(pmses) != len(areas) {
+		return 0
+	}
+	var num, den float64
+	for i := range pmses {
+		num += pmses[i] * areas[i]
+		den += areas[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return PSPNRFromPMSE(num / den)
+}
+
+// MOS bands of Table 3: PSPNR ≤45 → 1, 46–53 → 2, 54–61 → 3,
+// 62–69 → 4, ≥70 → 5.
+var mosBands = [...]float64{45, 53, 61, 69}
+
+// MOSFromPSPNR maps a 360JND-based PSPNR value to the mean opinion score
+// band of Table 3.
+func MOSFromPSPNR(p float64) int {
+	for i, hi := range mosBands {
+		if p <= hi {
+			return i + 1
+		}
+	}
+	return 5
+}
+
+// PSPNRForMOS returns the lower edge of the PSPNR band for a target MOS,
+// e.g. PSPNRForMOS(5) == 70 (used by the iso-quality bandwidth
+// experiments, Figure 18).
+func PSPNRForMOS(mos int) float64 {
+	switch {
+	case mos <= 1:
+		return 0
+	case mos >= 5:
+		return 70
+	default:
+		return mosBands[mos-2] + 1
+	}
+}

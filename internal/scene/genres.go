@@ -1,0 +1,168 @@
+package scene
+
+import (
+	"fmt"
+
+	"pano/internal/geom"
+	"pano/internal/mathx"
+)
+
+// Options controls generated video geometry. The paper's dataset is
+// 2880x1440 @30fps; the default here is a scaled-down resolution that
+// preserves aspect ratio and pixels-per-degree structure while keeping
+// simulation tractable.
+type Options struct {
+	W, H        int
+	FPS         int
+	DurationSec int
+}
+
+// DefaultOptions returns the evaluation default: 480x240 @30fps, 30 s.
+func DefaultOptions() Options {
+	return Options{W: 480, H: 240, FPS: 30, DurationSec: 30}
+}
+
+// genreProfile captures how a genre parameterizes the scene model.
+type genreProfile struct {
+	numObjects     [2]int     // min, max
+	objSpeed       [2]float64 // deg/s
+	objSize        [2]float64 // deg
+	objDepth       [2]float64 // dioptre
+	objTexture     [2]float64
+	oscAmp         [2]float64
+	bgBase         float64
+	bgBandAmp      float64
+	bgBandCycles   float64
+	bgFlickerAmp   float64
+	bgFlickerHz    float64
+	bgTexture      float64
+	bgNearDepth    float64
+	lumaRangeLo    float64
+	lumaRangeHi    float64
+	depthDiversity bool // objects spread across depth planes
+}
+
+var genreProfiles = map[Genre]genreProfile{
+	// Fast-moving objects the viewpoint tracks (skiers, cars, balls).
+	Sports: {
+		numObjects: [2]int{2, 4}, objSpeed: [2]float64{8, 20},
+		objSize: [2]float64{10, 18}, objDepth: [2]float64{0.5, 1.5},
+		objTexture: [2]float64{15, 35}, oscAmp: [2]float64{1, 4},
+		bgBase: 140, bgBandAmp: 25, bgBandCycles: 3, bgTexture: 18,
+		bgNearDepth: 1.0, lumaRangeLo: 60, lumaRangeHi: 220,
+	},
+	// Stage performances: slow motion, strong stage lighting contrast.
+	Performance: {
+		numObjects: [2]int{2, 5}, objSpeed: [2]float64{0.5, 4},
+		objSize: [2]float64{8, 14}, objDepth: [2]float64{0.8, 2.0},
+		objTexture: [2]float64{10, 25}, oscAmp: [2]float64{0, 1},
+		bgBase: 115, bgBandAmp: 40, bgBandCycles: 2,
+		bgFlickerAmp: 105, bgFlickerHz: 0.3, bgTexture: 10,
+		bgNearDepth: 0.8, lumaRangeLo: 140, lumaRangeHi: 250,
+	},
+	// Documentaries: slow pans, medium texture.
+	Documentary: {
+		numObjects: [2]int{1, 3}, objSpeed: [2]float64{1.5, 6},
+		objSize: [2]float64{10, 20}, objDepth: [2]float64{0.3, 1.2},
+		objTexture: [2]float64{12, 28}, oscAmp: [2]float64{0, 1},
+		bgBase: 130, bgBandAmp: 30, bgBandCycles: 2, bgTexture: 22,
+		bgNearDepth: 0.9, lumaRangeLo: 90, lumaRangeHi: 190,
+	},
+	// Outdoor sightseeing: large DoF spread (foreground vs vistas).
+	Tourism: {
+		numObjects: [2]int{2, 4}, objSpeed: [2]float64{2, 8},
+		objSize: [2]float64{8, 16}, objDepth: [2]float64{1.2, 3.0},
+		objTexture: [2]float64{12, 30}, oscAmp: [2]float64{0, 2},
+		bgBase: 150, bgBandAmp: 35, bgBandCycles: 2.5, bgTexture: 20,
+		bgNearDepth: 1.4, lumaRangeLo: 100, lumaRangeHi: 230,
+		depthDiversity: true,
+	},
+	// Adventure (drone/action cam): fast everything, dynamic light.
+	Adventure: {
+		numObjects: [2]int{2, 5}, objSpeed: [2]float64{6, 16},
+		objSize: [2]float64{8, 16}, objDepth: [2]float64{0.5, 2.5},
+		objTexture: [2]float64{15, 35}, oscAmp: [2]float64{2, 6},
+		bgBase: 120, bgBandAmp: 45, bgBandCycles: 4,
+		bgFlickerAmp: 30, bgFlickerHz: 0.1, bgTexture: 25,
+		bgNearDepth: 1.2, lumaRangeLo: 60, lumaRangeHi: 220,
+		depthDiversity: true,
+	},
+	// Science/educational: studio-like, low dynamics.
+	Science: {
+		numObjects: [2]int{1, 3}, objSpeed: [2]float64{0.5, 3},
+		objSize: [2]float64{10, 18}, objDepth: [2]float64{0.8, 1.6},
+		objTexture: [2]float64{8, 20}, oscAmp: [2]float64{0, 1},
+		bgBase: 160, bgBandAmp: 15, bgBandCycles: 1.5, bgTexture: 12,
+		bgNearDepth: 0.6, lumaRangeLo: 120, lumaRangeHi: 200,
+	},
+	// Gaming captures: synthetic high-contrast, fast objects.
+	Gaming: {
+		numObjects: [2]int{3, 6}, objSpeed: [2]float64{5, 14},
+		objSize: [2]float64{6, 12}, objDepth: [2]float64{0.4, 2.0},
+		objTexture: [2]float64{20, 40}, oscAmp: [2]float64{0, 3},
+		bgBase: 110, bgBandAmp: 50, bgBandCycles: 5,
+		bgFlickerAmp: 90, bgFlickerHz: 0.35, bgTexture: 30,
+		bgNearDepth: 1.0, lumaRangeLo: 40, lumaRangeHi: 250,
+	},
+}
+
+// Generate creates a deterministic synthetic video of the given genre.
+// The same (genre, seed, opts) always yields the same video.
+func Generate(genre Genre, seed uint64, opts Options) *Video {
+	prof, ok := genreProfiles[genre]
+	if !ok {
+		prof = genreProfiles[Documentary]
+	}
+	rng := mathx.NewRNG(seed ^ uint64(genre)<<32 ^ 0x5bd1e995)
+	v := &Video{
+		Name:        fmt.Sprintf("%s-%04x", genre, seed&0xffff),
+		Genre:       genre,
+		W:           opts.W,
+		H:           opts.H,
+		FPS:         opts.FPS,
+		DurationSec: opts.DurationSec,
+		Seed:        seed,
+		Bg: Background{
+			BaseLuma:   prof.bgBase,
+			BandAmp:    prof.bgBandAmp,
+			BandCycles: prof.bgBandCycles,
+			FlickerAmp: prof.bgFlickerAmp,
+			FlickerHz:  prof.bgFlickerHz,
+			Texture:    prof.bgTexture,
+			NearDepth:  prof.bgNearDepth,
+		},
+	}
+	n := prof.numObjects[0]
+	if d := prof.numObjects[1] - prof.numObjects[0]; d > 0 {
+		n += rng.Intn(d + 1)
+	}
+	for i := 0; i < n; i++ {
+		speed := rng.Range(prof.objSpeed[0], prof.objSpeed[1])
+		// Predominantly horizontal motion, as in real head-tracked
+		// content; a fraction of the speed may go vertical.
+		vy := speed * rng.Range(-0.2, 0.2)
+		vx := speed
+		if rng.Float64() < 0.5 {
+			vx = -vx
+		}
+		depth := rng.Range(prof.objDepth[0], prof.objDepth[1])
+		if prof.depthDiversity && i%2 == 1 {
+			// Alternate near/far planes so DoF differences within a
+			// viewport are large (Figure 2c / Figure 3 right).
+			depth = rng.Range(0.05, 0.3)
+		}
+		v.Objects = append(v.Objects, Object{
+			ID:       i + 1,
+			Start:    geom.Angle{Yaw: rng.Range(-180, 180), Pitch: rng.Range(-35, 35)},
+			VelYaw:   vx,
+			VelPitch: vy,
+			OscAmp:   rng.Range(prof.oscAmp[0], prof.oscAmp[1]),
+			OscHz:    rng.Range(0.2, 0.8),
+			SizeDeg:  rng.Range(prof.objSize[0], prof.objSize[1]),
+			Depth:    depth,
+			Luma:     uint8(rng.Range(prof.lumaRangeLo, prof.lumaRangeHi)),
+			Texture:  rng.Range(prof.objTexture[0], prof.objTexture[1]),
+		})
+	}
+	return v
+}

@@ -1,0 +1,163 @@
+// Package server implements the video provider's HTTP endpoint. Like
+// the paper's deployment (§7), the server is a plain DASH-style HTTP
+// object store and never participates in adaptation: it serves the
+// manifest (which embeds the compressed PSPNR lookup table) and
+// per-tile media objects addressed by chunk, tile, and quality level.
+// No CDN or protocol changes are required (§3, Figure 5).
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"pano/internal/codec"
+	"pano/internal/manifest"
+)
+
+// Server serves one video.
+type Server struct {
+	man *manifest.Video
+}
+
+// New validates the manifest and returns a server for it.
+func New(m *manifest.Video) (*Server, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	return &Server{man: m}, nil
+}
+
+// Handler returns the HTTP handler:
+//
+//	GET /manifest.json   — the native Pano manifest
+//	GET /manifest.mpd    — DASH MPD projection (SRD-tiled, multi-period)
+//	GET /video/{chunk}/{tile}/{level}.bin
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/manifest.json", s.handleManifest)
+	mux.HandleFunc("/manifest.mpd", s.handleMPD)
+	mux.HandleFunc("/video/", s.handleTile)
+	return mux
+}
+
+func (s *Server) handleMPD(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/dash+xml")
+	if r.Method == http.MethodHead {
+		return
+	}
+	_ = s.man.MPD().Encode(w)
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if r.Method == http.MethodHead {
+		return
+	}
+	if err := s.man.Encode(w); err != nil {
+		// Too late for a status code; the connection will carry the
+		// truncation.
+		return
+	}
+}
+
+// TileSizeBytes returns the serialized media size of a tile object.
+func TileSizeBytes(t *manifest.Tile, l codec.Level) int {
+	return int(math.Ceil(t.Bits[l] / 8))
+}
+
+// TilePayload deterministically generates the media bytes for a tile
+// object. The first 16 bytes are a header encoding (chunk, tile, level)
+// so clients can verify they received the right object; the rest is
+// filler standing in for entropy-coded residuals.
+func TilePayload(k, ti int, l codec.Level, size int) []byte {
+	if size < 16 {
+		size = 16
+	}
+	buf := make([]byte, size)
+	binary.BigEndian.PutUint32(buf[0:], uint32(k))
+	binary.BigEndian.PutUint32(buf[4:], uint32(ti))
+	binary.BigEndian.PutUint32(buf[8:], uint32(l))
+	binary.BigEndian.PutUint32(buf[12:], uint32(size))
+	state := uint64(k)<<40 ^ uint64(ti)<<20 ^ uint64(l) ^ 0x9e3779b97f4a7c15
+	for i := 16; i < size; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		buf[i] = byte(state)
+	}
+	return buf
+}
+
+// ParseTilePath parses "/video/{chunk}/{tile}/{level}.bin".
+func ParseTilePath(path string) (chunk, tile int, level codec.Level, err error) {
+	rest := strings.TrimPrefix(path, "/video/")
+	parts := strings.Split(rest, "/")
+	if len(parts) != 3 || !strings.HasSuffix(parts[2], ".bin") {
+		return 0, 0, 0, fmt.Errorf("server: bad tile path %q", path)
+	}
+	chunk, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("server: bad chunk in %q", path)
+	}
+	tile, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("server: bad tile in %q", path)
+	}
+	lv, err := strconv.Atoi(strings.TrimSuffix(parts[2], ".bin"))
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("server: bad level in %q", path)
+	}
+	return chunk, tile, codec.Level(lv), nil
+}
+
+// TilePath renders the URL path for a tile object.
+func TilePath(chunk, tile int, level codec.Level) string {
+	return fmt.Sprintf("/video/%d/%d/%d.bin", chunk, tile, int(level))
+}
+
+func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	k, ti, l, err := ParseTilePath(r.URL.Path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if k < 0 || k >= s.man.NumChunks() || !l.Valid() {
+		http.NotFound(w, r)
+		return
+	}
+	tiles := s.man.Chunks[k].Tiles
+	if ti < 0 || ti >= len(tiles) {
+		http.NotFound(w, r)
+		return
+	}
+	size := TileSizeBytes(&tiles[ti], l)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(maxInt(size, 16)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	_, _ = w.Write(TilePayload(k, ti, l, size))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

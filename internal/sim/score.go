@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"math"
+
+	"pano/internal/abr"
+	"pano/internal/codec"
+	"pano/internal/geom"
+	"pano/internal/jnd"
+	"pano/internal/manifest"
+	"pano/internal/quality"
+	"pano/internal/scene"
+	"pano/internal/tiling"
+	"pano/internal/viewport"
+)
+
+// pixelFramePSPNR scores the delivered quality of chunk k from actual
+// pixels, over the whole panorama, exactly as Equation 1 and the §6.1
+// objective define PSPNR: it renders the chunk's mid frame, applies
+// each unit cell's delivered quantization (the QP of the manifest tile
+// covering it), and computes the perceptible error against the
+// ground-truth content JND scaled by the cell's true action ratio. The
+// viewpoint enters only through the factors — relative speed, DoF
+// difference to the focused object, recent luminance change — never as
+// a visibility mask.
+//
+// Because the same pixels at the same QP always produce the same
+// distortion, the score is completely independent of how a system tiled
+// the video — it measures what was delivered, not what the manifest
+// claims.
+func pixelFramePSPNR(m *manifest.Video, v *scene.Video, k int, alloc abr.Allocation, tr *viewport.Trace, prof *jnd.Profile, enc *codec.Encoder) float64 {
+	tMid := (float64(k) + 0.5) * m.ChunkSec
+	center := tr.At(tMid)
+	vpSpeed := tr.SpeedAt(tMid)
+	focusDoF := v.DepthAt(center, tMid)
+	lumaSwing := maxLumaSwing(v, tr, tMid)
+
+	fidx := int(tMid * float64(v.FPS))
+	if fidx >= v.Frames() {
+		fidx = v.Frames() - 1
+	}
+	orig := v.RenderFrame(fidx)
+
+	g := geom.Frame{W: m.W, H: m.H}
+	cells := tiling.Grid12x24.Rects(m.W, m.H)
+
+	tileAt := func(x, y int) int {
+		for i := range m.Chunks[k].Tiles {
+			if m.Chunks[k].Tiles[i].Rect.Contains(x, y) {
+				return i
+			}
+		}
+		return 0
+	}
+
+	var num, den float64
+	for _, cell := range cells {
+		cx, cy := (cell.X0+cell.X1)/2, (cell.Y0+cell.Y1)/2
+		a := g.ToAngle(cx, cy)
+		var objSpeed, depth float64
+		if o := v.ObjectAt(a, tMid); o != nil {
+			objSpeed = o.SpeedDegS()
+			depth = o.Depth
+		} else {
+			depth = v.BgDepthAt(a)
+		}
+		ratio := prof.ActionRatio(jnd.Factors{
+			SpeedDegS:  math.Abs(vpSpeed - objSpeed),
+			DoFDiff:    math.Abs(depth - focusDoF),
+			LumaChange: lumaSwing,
+		})
+
+		qp := alloc[tileAt(cx, cy)].QP()
+		encCell, err := enc.DistortRegion(orig, cell, qp)
+		if err != nil {
+			continue
+		}
+		origCell, err := orig.Region(cell)
+		if err != nil {
+			continue
+		}
+		field := quality.ScaleField(jnd.ContentField(orig, cell), ratio)
+		pmse, err := quality.PMSE(origCell, encCell, field)
+		if err != nil {
+			continue
+		}
+		num += float64(cell.Area()) * pmse
+		den += float64(cell.Area())
+	}
+	if den == 0 {
+		return 0
+	}
+	return quality.PSPNRFromPMSE(num / den)
+}
+
+// maxLumaSwing is the ground-truth luminance change of the viewport
+// over the preceding 5 s window.
+func maxLumaSwing(v *scene.Video, tr *viewport.Trace, t float64) float64 {
+	ref := v.LumaAt(tr.At(t), t)
+	var swing float64
+	for u := math.Max(0, t-5); u <= t+1e-9; u += 5 * viewport.RefreshInterval {
+		if d := math.Abs(v.LumaAt(tr.At(u), u) - ref); d > swing {
+			swing = d
+		}
+	}
+	return swing
+}

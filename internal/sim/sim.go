@@ -1,0 +1,245 @@
+// Package sim runs trace-driven end-to-end streaming sessions (§8.1):
+// a manifest (the encoded video), a user's viewpoint trace, a cellular
+// bandwidth trace, and a quality-adaptation planner in a closed loop of
+// MPC bitrate control, tile-level allocation, download timing, buffer
+// dynamics, and perceived-quality accounting.
+//
+// The simulator decides with what the client would know (predicted
+// viewpoint, lower-bound factors, harmonic-mean bandwidth), and scores
+// with ground truth (the real trace, the real factors), so prediction
+// error hurts exactly as it would in a deployment.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"pano/internal/abr"
+	"pano/internal/codec"
+	"pano/internal/jnd"
+	"pano/internal/manifest"
+	"pano/internal/mathx"
+	"pano/internal/nettrace"
+	"pano/internal/player"
+	"pano/internal/quality"
+	"pano/internal/scene"
+	"pano/internal/viewport"
+)
+
+// Config tunes a session.
+type Config struct {
+	// BufferTargetSec is the MPC buffer target (the paper tests 1-3 s).
+	BufferTargetSec float64
+	// MaxBufferSec caps prefetch (default 2x target).
+	MaxBufferSec float64
+	// Profile is the 360JND profile used for scoring (default
+	// jnd.Default()).
+	Profile *jnd.Profile
+	// ViewNoiseDeg adds uniform random viewpoint shifts in [0, n]
+	// degrees to the trace the *client* sees (§8.3 stress test);
+	// scoring always uses the clean trace.
+	ViewNoiseDeg float64
+	// BWErrorFrac perturbs the client's bandwidth prediction by
+	// ±frac, alternating sign per chunk (§8.3's throughput error).
+	BWErrorFrac float64
+	// Seed drives the noise.
+	Seed uint64
+	// Scene, when set, enables ground-truth quality scoring at unit-
+	// tile granularity (independent of the system's tiling). Without
+	// it, scoring falls back to the manifest's own tiles.
+	Scene *scene.Video
+	// Controller overrides the chunk-level bitrate algorithm (default:
+	// the §6.1 MPC at BufferTargetSec; abr.NewBOLA is the alternative).
+	Controller abr.Controller
+}
+
+// DefaultConfig returns a 2 s buffer target session.
+func DefaultConfig() Config {
+	return Config{BufferTargetSec: 2}
+}
+
+func (c *Config) fillDefaults() {
+	if c.BufferTargetSec == 0 {
+		c.BufferTargetSec = 2
+	}
+	if c.MaxBufferSec == 0 {
+		// Cap prefetch at one chunk beyond the target: deeper buffers
+		// stretch the viewpoint-prediction horizon, which hurts every
+		// viewport-aware scheme (§2.1's prefetch tension).
+		c.MaxBufferSec = c.BufferTargetSec + 1
+	}
+	if c.Profile == nil {
+		c.Profile = jnd.Default()
+	}
+}
+
+// Result summarizes one session.
+type Result struct {
+	System string
+	// MeanPSPNR is the session-average viewport PSPNR (dB).
+	MeanPSPNR float64
+	// BufferingRatio is stall time over total watch time, percent.
+	BufferingRatio float64
+	// BandwidthMbps is total downloaded bits over the video duration.
+	BandwidthMbps float64
+	// StartupDelaySec is the first chunk's download time.
+	StartupDelaySec float64
+	// StallSec is the total rebuffering time.
+	StallSec float64
+	// PerChunkPSPNR is the delivered viewport PSPNR per chunk.
+	PerChunkPSPNR []float64
+	// PerChunkEstPSPNR is what the client estimated while planning —
+	// the gap to PerChunkPSPNR is Figure 16(a)'s estimation error.
+	PerChunkEstPSPNR []float64
+	// PerChunkAlloc records the chosen level per tile per chunk, so
+	// alternative metrics (plain PSNR, traditional PSPNR) can be
+	// scored on the same delivered session afterwards.
+	PerChunkAlloc []abr.Allocation
+	// TotalBits is the session's downloaded volume.
+	TotalBits float64
+}
+
+// MOS returns the Table 3 opinion-score band of the session quality.
+func (r *Result) MOS() int { return quality.MOSFromPSPNR(r.MeanPSPNR) }
+
+// Run simulates one full playback session.
+func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.Planner, cfg Config) (*Result, error) {
+	cfg.fillDefaults()
+	if m.NumChunks() == 0 {
+		return nil, fmt.Errorf("sim: empty manifest")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+
+	clientTrace := tr
+	if cfg.ViewNoiseDeg > 0 {
+		clientTrace = tr.AddNoise(cfg.ViewNoiseDeg, mathx.NewRNG(cfg.Seed+0x5eed))
+	}
+	scoreEnc := codec.NewEncoder()
+	est := player.NewEstimator()
+	mpc := abr.NewMPC(cfg.BufferTargetSec)
+	var ctrl abr.Controller = mpc
+	if cfg.Controller != nil {
+		ctrl = cfg.Controller
+	}
+	bw := abr.NewBandwidthPredictor()
+
+	res := &Result{System: pl.Name()}
+	var wall, buffer float64
+	prevLevel := codec.Level(-1)
+	chunkSec := m.ChunkSec
+
+	for k := 0; k < m.NumChunks(); k++ {
+		nowMedia := math.Max(0, float64(k)*chunkSec-buffer)
+
+		// Chunk-level bitrate via MPC.
+		var budget float64
+		pred := bw.Predict()
+		if pred == 0 {
+			// Cold start: lowest level.
+			budget = m.ChunkBits(k, codec.Level(codec.NumLevels-1))
+			prevLevel = codec.Level(codec.NumLevels - 1)
+		} else {
+			if cfg.BWErrorFrac > 0 {
+				sign := 1.0
+				if k%2 == 1 {
+					sign = -1
+				}
+				pred *= 1 + sign*cfg.BWErrorFrac
+			}
+			horizon := make([]abr.ChunkPlan, 0, mpc.Horizon)
+			for j := k; j < k+mpc.Horizon && j < m.NumChunks(); j++ {
+				var p abr.ChunkPlan
+				for l := 0; l < codec.NumLevels; l++ {
+					p.Bits[l] = m.ChunkBits(j, codec.Level(l))
+					// Normalize dB to MOS-like units so the rebuffer
+					// and buffer penalties bind (a level step is worth
+					// ~1-2 units, far less than a second of stall).
+					p.Quality[l] = meanRefPSPNR(m, j, codec.Level(l)) / 10
+				}
+				horizon = append(horizon, p)
+			}
+			lv := ctrl.PickLevel(buffer, pred, chunkSec, prevLevel, horizon)
+			budget = m.ChunkBits(k, lv)
+			prevLevel = lv
+			// The level menu is coarse; fill the remaining predicted
+			// capacity so the tile allocator can spend what the link
+			// actually offers (identically for every system).
+			capacity := 0.9 * pred * (chunkSec + math.Max(0, buffer-cfg.BufferTargetSec))
+			if capacity > budget {
+				budget = math.Min(capacity, m.ChunkBits(k, 0))
+			}
+		}
+
+		// Tile-level allocation on the client's (possibly noisy) view.
+		view := est.View(m, clientTrace, k, nowMedia)
+		alloc := pl.Plan(m, k, view, budget)
+		bits := allocBits(m, k, alloc)
+
+		// Download.
+		dl := link.DownloadTime(wall, bits)
+		wall += dl
+		bw.Observe(bits / dl)
+		if k == 0 {
+			res.StartupDelaySec = dl
+		} else if dl > buffer {
+			res.StallSec += dl - buffer
+		}
+		buffer = math.Max(buffer-dl, 0) + chunkSec
+		if buffer > cfg.MaxBufferSec {
+			// Paced prefetch: wait without draining (playback continues
+			// against the buffered media).
+			wall += buffer - cfg.MaxBufferSec
+			buffer = cfg.MaxBufferSec
+		}
+		res.TotalBits += bits
+
+		// Score delivered and estimated quality. The estimate uses the
+		// client's best-guess view (Figure 16a measures this gap); the
+		// allocation above used the conservative view.
+		guess := est.BestGuessView(m, clientTrace, k, nowMedia)
+		var delivered float64
+		if cfg.Scene != nil {
+			delivered = pixelFramePSPNR(m, cfg.Scene, k, alloc, tr, cfg.Profile, scoreEnc)
+		} else {
+			actual := est.ActualView(m, tr, k)
+			delivered = player.FramePSPNR(m, k, alloc, actual, cfg.Profile)
+		}
+		res.PerChunkPSPNR = append(res.PerChunkPSPNR, delivered)
+		res.PerChunkEstPSPNR = append(res.PerChunkEstPSPNR,
+			player.FramePSPNR(m, k, alloc, guess, cfg.Profile))
+		res.PerChunkAlloc = append(res.PerChunkAlloc, alloc)
+	}
+
+	dur := m.DurationSec()
+	var sum float64
+	for _, p := range res.PerChunkPSPNR {
+		sum += p
+	}
+	res.MeanPSPNR = sum / float64(len(res.PerChunkPSPNR))
+	res.BufferingRatio = 100 * res.StallSec / (dur + res.StallSec)
+	res.BandwidthMbps = res.TotalBits / dur / 1e6
+	return res, nil
+}
+
+func allocBits(m *manifest.Video, k int, a abr.Allocation) float64 {
+	var s float64
+	for i, l := range a {
+		s += m.Chunks[k].Tiles[i].Bits[l]
+	}
+	return s
+}
+
+func meanRefPSPNR(m *manifest.Video, k int, l codec.Level) float64 {
+	var num, den float64
+	for _, t := range m.Chunks[k].Tiles {
+		a := float64(t.Rect.Area())
+		num += a * t.RefPSPNR[l]
+		den += a
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,155 @@
+// Package userstudy simulates the paper's two human studies:
+//
+//   - The JND profiling study of Appendix A: participants watch a
+//     synthetic stimulus (a 64×64 object over a controlled background)
+//     whose distortion rises until they report noticing it, under
+//     controlled viewpoint speed, luminance change, and DoF difference.
+//     The per-participant perception model is the 360JND ground truth
+//     scaled by an individual sensitivity and report noise, so the
+//     study harness regenerates Figures 6–7 the way the paper measured
+//     them.
+//
+//   - The MOS rating survey of §8.1: participants watch a rendered
+//     session and rate it 1–5. Ratings are drawn around the Table 3
+//     PSPNR→MOS band with per-user bias and noise.
+//
+// The panel is deterministic given its seed, so experiments are
+// reproducible.
+package userstudy
+
+import (
+	"math"
+
+	"pano/internal/jnd"
+	"pano/internal/mathx"
+	"pano/internal/quality"
+)
+
+// StimulusBaseJND is the content-dependent JND of the Appendix A test
+// stimulus: a flat grey-50 object, whose Chou–Li luminance masking
+// dominates (≈ 17·(1−sqrt(50/127))+3).
+var StimulusBaseJND = jnd.LuminanceMasking(50)
+
+// Participant models one study subject.
+type Participant struct {
+	// Sens scales the true JND: values above 1 mean a less sensitive
+	// viewer (notices distortion later).
+	Sens float64
+	// ReportNoise is the std-dev of multiplicative report noise.
+	ReportNoise float64
+	// RatingBias shifts the subject's MOS ratings.
+	RatingBias float64
+}
+
+// Panel is a set of participants with a deterministic noise stream.
+type Panel struct {
+	Participants []Participant
+	rng          *mathx.RNG
+	Profile      *jnd.Profile
+}
+
+// NewPanel creates n participants (the paper uses 20).
+func NewPanel(n int, seed uint64) *Panel {
+	rng := mathx.NewRNG(seed ^ 0x9a7e1)
+	p := &Panel{rng: rng, Profile: jnd.Default()}
+	for i := 0; i < n; i++ {
+		p.Participants = append(p.Participants, Participant{
+			Sens:        math.Exp(rng.NormMS(0, 0.15)),
+			ReportNoise: 0.08,
+			RatingBias:  rng.NormMS(0, 0.3),
+		})
+	}
+	return p
+}
+
+// MeasureJND runs the staircase protocol for one factor setting: the
+// distortion level Δ rises in unit steps until the participant reports
+// it; the first-report average across the panel is the measured JND
+// (Appendix A.1).
+func (p *Panel) MeasureJND(f jnd.Factors) float64 {
+	var sum float64
+	for _, part := range p.Participants {
+		threshold := StimulusBaseJND * p.Profile.ActionRatio(f) * part.Sens
+		threshold *= 1 + part.ReportNoise*p.rng.Norm()
+		// Staircase: the first integer Δ ≥ threshold is reported.
+		delta := math.Ceil(threshold)
+		if delta < 1 {
+			delta = 1
+		}
+		if delta > 205 {
+			delta = 205 // the study's maximum distortion
+		}
+		sum += delta
+	}
+	return sum / float64(len(p.Participants))
+}
+
+// Multiplier measures the panel's JND at factors f normalized by its
+// JND at zero factors — the empirical Fv/Fl/Fd of Figure 6.
+func (p *Panel) Multiplier(f jnd.Factors) float64 {
+	base := p.MeasureJND(jnd.Factors{})
+	if base == 0 {
+		return 1
+	}
+	return p.MeasureJND(f) / base
+}
+
+// Rate returns one participant's 1–5 rating for a session with the
+// given 360JND-based PSPNR (the paper's premise, validated by Figure 8,
+// is that this metric tracks perception).
+func (p *Panel) rate(part *Participant, pspnr float64) int {
+	base := float64(quality.MOSFromPSPNR(pspnr))
+	r := base + part.RatingBias + p.rng.NormMS(0, 0.35)
+	ri := int(math.Round(r))
+	if ri < 1 {
+		ri = 1
+	}
+	if ri > 5 {
+		ri = 5
+	}
+	return ri
+}
+
+// Ratings returns every participant's rating for a session.
+func (p *Panel) Ratings(pspnr float64) []int {
+	out := make([]int, len(p.Participants))
+	for i := range p.Participants {
+		out[i] = p.rate(&p.Participants[i], pspnr)
+	}
+	return out
+}
+
+// MOS returns the panel's mean opinion score for a session.
+func (p *Panel) MOS(pspnr float64) float64 {
+	rs := p.Ratings(pspnr)
+	var s float64
+	for _, r := range rs {
+		s += float64(r)
+	}
+	return s / float64(len(rs))
+}
+
+// PredictorErrors evaluates how well a quality metric predicts MOS
+// (Figure 8): given per-video metric values and the observed MOS of
+// each video (rate every video once with Panel.MOS, then evaluate all
+// candidate metrics against the same ratings), fit a linear predictor
+// metric→MOS and return the per-video relative errors
+// |MOSpred − MOSreal| / MOSreal.
+func PredictorErrors(metricValues, mosReal []float64) []float64 {
+	if len(metricValues) != len(mosReal) || len(metricValues) < 2 {
+		return nil
+	}
+	fit, err := mathx.FitLinear(metricValues, mosReal)
+	if err != nil {
+		return nil
+	}
+	out := make([]float64, len(metricValues))
+	for i := range metricValues {
+		pred := fit.Eval(metricValues[i])
+		if mosReal[i] == 0 {
+			continue
+		}
+		out[i] = math.Abs(pred-mosReal[i]) / mosReal[i]
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package userstudy
+
+import (
+	"math"
+	"testing"
+
+	"pano/internal/jnd"
+)
+
+func TestPanelDeterministic(t *testing.T) {
+	a := NewPanel(20, 7)
+	b := NewPanel(20, 7)
+	fa := a.MeasureJND(jnd.Factors{SpeedDegS: 10})
+	fb := b.MeasureJND(jnd.Factors{SpeedDegS: 10})
+	if fa != fb {
+		t.Error("same seed should reproduce measurements")
+	}
+	c := NewPanel(20, 8)
+	if c.MeasureJND(jnd.Factors{SpeedDegS: 10}) == fa {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestMeasuredJNDRisesWithEachFactor(t *testing.T) {
+	p := NewPanel(20, 3)
+	base := p.MeasureJND(jnd.Factors{})
+	if base < 3 || base > 25 {
+		t.Errorf("base JND = %v, want near the stimulus JND %.1f", base, StimulusBaseJND)
+	}
+	cases := []jnd.Factors{
+		{SpeedDegS: 20},
+		{LumaChange: 240},
+		{DoFDiff: 2},
+	}
+	for _, f := range cases {
+		if got := p.MeasureJND(f); got <= base {
+			t.Errorf("JND at %+v = %v, want > base %v", f, got, base)
+		}
+	}
+}
+
+func TestMultipliersMatchProfileShape(t *testing.T) {
+	// The study harness should recover the Figure 6 curve shapes: the
+	// measured multiplier at the §2.3 thresholds is ≈1.5.
+	p := NewPanel(40, 5)
+	for _, c := range []struct {
+		f    jnd.Factors
+		want float64
+	}{
+		{jnd.Factors{SpeedDegS: 10}, 1.5},
+		{jnd.Factors{LumaChange: 200}, 1.5},
+		{jnd.Factors{DoFDiff: 0.7}, 1.5},
+		{jnd.Factors{SpeedDegS: 20}, 4.0},
+		{jnd.Factors{DoFDiff: 2}, 5.0},
+	} {
+		got := p.Multiplier(c.f)
+		if math.Abs(got-c.want) > 0.35*c.want {
+			t.Errorf("multiplier at %+v = %v, want ≈%v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestJointIndependence(t *testing.T) {
+	// Figure 7: the joint multiplier is ≈ the product of marginals.
+	p := NewPanel(40, 9)
+	joint := p.Multiplier(jnd.Factors{SpeedDegS: 10, DoFDiff: 0.7})
+	product := p.Multiplier(jnd.Factors{SpeedDegS: 10}) * p.Multiplier(jnd.Factors{DoFDiff: 0.7})
+	if math.Abs(joint-product)/product > 0.2 {
+		t.Errorf("joint %v vs product %v: deviation over 20%%", joint, product)
+	}
+}
+
+func TestMOSMonotoneInQuality(t *testing.T) {
+	p := NewPanel(20, 11)
+	low := p.MOS(40)
+	mid := p.MOS(58)
+	high := p.MOS(75)
+	if !(low < mid && mid < high) {
+		t.Errorf("MOS not monotone: %v %v %v", low, mid, high)
+	}
+	if low < 1 || high > 5 {
+		t.Errorf("MOS out of range: %v %v", low, high)
+	}
+}
+
+func TestRatingsWithinScale(t *testing.T) {
+	p := NewPanel(20, 13)
+	for _, q := range []float64{20, 50, 65, 90} {
+		for _, r := range p.Ratings(q) {
+			if r < 1 || r > 5 {
+				t.Fatalf("rating %d out of scale", r)
+			}
+		}
+	}
+}
+
+func TestPredictorErrorsOrdering(t *testing.T) {
+	// A metric equal to the true quality should predict MOS better
+	// than a badly distorted metric — the structure behind Figure 8.
+	p := NewPanel(20, 17)
+	n := 24
+	truth := make([]float64, n)
+	good := make([]float64, n)
+	bad := make([]float64, n)
+	rng := []float64{42, 47, 52, 57, 62, 67, 72, 77}
+	for i := 0; i < n; i++ {
+		truth[i] = rng[i%len(rng)] + float64(i%5)
+		good[i] = truth[i]
+		// A metric that ignores a big quality factor: heavily
+		// compressed dynamic range plus structured error.
+		bad[i] = 55 + 0.2*truth[i] + 12*math.Sin(float64(i))
+	}
+	mosReal := make([]float64, n)
+	for i, q := range truth {
+		mosReal[i] = p.MOS(q)
+	}
+	ge := PredictorErrors(good, mosReal)
+	be := PredictorErrors(bad, mosReal)
+	if ge == nil || be == nil {
+		t.Fatal("predictor errors nil")
+	}
+	if mean(ge) >= mean(be) {
+		t.Errorf("good metric error %v should beat bad %v", mean(ge), mean(be))
+	}
+	_ = p
+}
+
+func TestPredictorErrorsDegenerate(t *testing.T) {
+	if PredictorErrors([]float64{1}, []float64{1}) != nil {
+		t.Error("single point should return nil")
+	}
+	if PredictorErrors([]float64{1, 2}, []float64{1}) != nil {
+		t.Error("mismatched lengths should return nil")
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

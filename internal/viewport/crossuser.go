@@ -1,0 +1,85 @@
+package viewport
+
+import (
+	"pano/internal/geom"
+)
+
+// CrossUserPredictor extends the linear-regression predictor with
+// cross-user behaviour, in the direction of the CLS/CUB360 work the
+// paper cites ([25], [61]): most viewers of a 360° video attend to the
+// same salient content, so where *other* users looked at media time t
+// is a strong prior for where this user will look — especially at the
+// multi-second horizons where linear extrapolation of head motion
+// breaks down.
+//
+// The predictor consults its peer traces at the target time; if a
+// majority of them agree within AgreeDeg of their spherical centroid,
+// it blends the centroid with the linear prediction, otherwise it
+// falls back to pure linear regression.
+type CrossUserPredictor struct {
+	// Peers are other users' traces for the same video.
+	Peers []*Trace
+	// Fallback is the per-user linear predictor.
+	Fallback *Predictor
+	// AgreeDeg is the consensus radius (default 30°).
+	AgreeDeg float64
+	// Blend is the weight of the consensus centroid against the linear
+	// prediction when consensus exists (default 0.7).
+	Blend float64
+}
+
+// NewCrossUserPredictor returns a predictor over the given peer traces.
+func NewCrossUserPredictor(peers []*Trace) *CrossUserPredictor {
+	return &CrossUserPredictor{
+		Peers:    peers,
+		Fallback: NewPredictor(),
+		AgreeDeg: 30,
+		Blend:    0.7,
+	}
+}
+
+// consensus returns the peers' centroid at media time t and whether a
+// majority of peers fall within AgreeDeg of it. Fewer than three peers
+// cannot form a meaningful consensus.
+func (p *CrossUserPredictor) consensus(t float64) (geom.Angle, bool) {
+	if len(p.Peers) < 3 {
+		return geom.Angle{}, false
+	}
+	points := make([]geom.Angle, len(p.Peers))
+	for i, tr := range p.Peers {
+		points[i] = tr.At(t)
+	}
+	c := geom.Centroid(points)
+	agree := 0
+	for _, pt := range points {
+		if geom.GreatCircleDeg(c, pt) <= p.AgreeDeg {
+			agree++
+		}
+	}
+	return c, agree*2 > len(points)
+}
+
+// Predict returns the predicted viewpoint at now+horizon for the user
+// whose own history is tr.
+func (p *CrossUserPredictor) Predict(tr *Trace, now, horizon float64) geom.Angle {
+	linear := p.Fallback.Predict(tr, now, horizon)
+	c, ok := p.consensus(now + horizon)
+	if !ok {
+		return linear
+	}
+	// Blend on the sphere: weighted centroid of the two directions.
+	lv := linear.Vec()
+	cv := c.Vec()
+	w := p.Blend
+	return geom.FromVec([3]float64{
+		w*cv[0] + (1-w)*lv[0],
+		w*cv[1] + (1-w)*lv[1],
+		w*cv[2] + (1-w)*lv[2],
+	})
+}
+
+// PredictError returns the great-circle error in degrees of the
+// prediction made at now for now+horizon.
+func (p *CrossUserPredictor) PredictError(tr *Trace, now, horizon float64) float64 {
+	return geom.GreatCircleDeg(p.Predict(tr, now, horizon), tr.At(now+horizon))
+}

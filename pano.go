@@ -1,0 +1,149 @@
+// Package pano is a Go implementation of Pano (Guan et al., SIGCOMM
+// 2019): a 360° video streaming system that models how users actually
+// perceive 360° video quality — accounting for viewpoint-moving speed,
+// luminance changes, and depth-of-field differences — and uses that
+// model to save bandwidth or raise perceived quality.
+//
+// The library is organized as a pipeline:
+//
+//	video → Preprocess (tiling + PSPNR lookup table) → manifest
+//	manifest → Serve (DASH-style HTTP) → Stream (adaptive client)
+//	manifest + traces → Simulate (trace-driven evaluation)
+//
+// The package root re-exports the stable surface of the internal
+// packages; see the examples directory for end-to-end programs, and
+// cmd/pano-bench for the paper's full evaluation suite.
+package pano
+
+import (
+	"pano/internal/jnd"
+	"pano/internal/manifest"
+	"pano/internal/nettrace"
+	"pano/internal/player"
+	"pano/internal/provider"
+	"pano/internal/scene"
+	"pano/internal/server"
+	"pano/internal/sim"
+	"pano/internal/viewport"
+
+	panoclient "pano/internal/client"
+)
+
+// Core data types.
+type (
+	// Video is a synthetic 360° video with analytic ground truth
+	// (objects, luminance, depth) standing in for real footage.
+	Video = scene.Video
+	// Genre labels video content categories (Table 2).
+	Genre = scene.Genre
+	// VideoOptions sizes generated videos.
+	VideoOptions = scene.Options
+	// Manifest is the DASH-style manifest with the PSPNR lookup table.
+	Manifest = manifest.Video
+	// ViewTrace is a viewpoint trajectory.
+	ViewTrace = viewport.Trace
+	// NetTrace is a bandwidth trace.
+	NetTrace = nettrace.Trace
+	// Link is an emulated download link over a NetTrace.
+	Link = nettrace.Link
+	// JNDProfile holds the 360JND multiplier curves of §4.
+	JNDProfile = jnd.Profile
+	// JNDFactors are the three viewpoint-driven quantities.
+	JNDFactors = jnd.Factors
+	// Planner decides per-tile quality levels (Pano or a baseline).
+	Planner = player.Planner
+	// SessionResult summarizes a simulated playback session.
+	SessionResult = sim.Result
+	// SimConfig tunes a simulated session.
+	SimConfig = sim.Config
+	// PreprocessConfig tunes offline preprocessing.
+	PreprocessConfig = provider.Config
+	// Server serves an encoded video over HTTP.
+	Server = server.Server
+	// Client streams from a Server.
+	Client = panoclient.Client
+	// StreamConfig tunes an HTTP streaming session.
+	StreamConfig = panoclient.StreamConfig
+	// StreamResult summarizes an HTTP streaming session.
+	StreamResult = panoclient.StreamResult
+)
+
+// Genres.
+const (
+	Sports      = scene.Sports
+	Performance = scene.Performance
+	Documentary = scene.Documentary
+	Tourism     = scene.Tourism
+	Adventure   = scene.Adventure
+	Science     = scene.Science
+	Gaming      = scene.Gaming
+)
+
+// GenerateVideo creates a deterministic synthetic 360° video.
+func GenerateVideo(g Genre, seed uint64, opts VideoOptions) *Video {
+	return scene.Generate(g, seed, opts)
+}
+
+// DefaultVideoOptions returns the evaluation default geometry.
+func DefaultVideoOptions() VideoOptions { return scene.DefaultOptions() }
+
+// SynthesizeTrace generates a viewpoint trace for a video following the
+// paper's object-tracking behaviour model (§8.5).
+func SynthesizeTrace(v *Video, seed uint64) *ViewTrace {
+	return viewport.Synthesize(v, seed, viewport.DefaultSynthesizeOpts())
+}
+
+// DefaultJND returns the paper-calibrated 360JND profile (§4.2).
+func DefaultJND() *JNDProfile { return jnd.Default() }
+
+// DefaultPreprocess returns Pano's preprocessing defaults: variable
+// tiling with N=30 tiles, 1 s chunks, 1-in-10 frame sampling.
+func DefaultPreprocess() PreprocessConfig { return provider.DefaultConfig() }
+
+// Preprocess runs the provider pipeline (§5, §6.3): tiling, per-tile
+// encoding sizes, and the compressed PSPNR lookup table.
+func Preprocess(v *Video, history []*ViewTrace, cfg PreprocessConfig) (*Manifest, error) {
+	return provider.Preprocess(v, history, cfg)
+}
+
+// NewPanoPlanner returns Pano's tile-level quality planner (§6.1).
+func NewPanoPlanner() Planner { return player.NewPanoPlanner() }
+
+// NewViewportPlanner returns the viewport-driven baseline planner
+// (Flare-style distance-based allocation).
+func NewViewportPlanner() Planner { return player.NewViewportPlanner("viewport-driven") }
+
+// NewWholePlanner returns the whole-video baseline planner.
+func NewWholePlanner() Planner { return player.WholePlanner{} }
+
+// SynthesizeLTE generates an LTE-like bandwidth trace scaled to a mean
+// throughput in Mbps.
+func SynthesizeLTE(seed uint64, durationSec int, meanMbps float64) *NetTrace {
+	return nettrace.SynthesizeLTE(seed, durationSec, meanMbps)
+}
+
+// NewLink wraps a bandwidth trace as an emulated download link.
+func NewLink(t *NetTrace) *Link { return nettrace.NewLink(t) }
+
+// ScaledLink builds a link whose mean throughput is frac times the
+// video's top-level bitrate — the operating band of the paper's
+// cellular traces (see DESIGN.md).
+func ScaledLink(m *Manifest, frac float64, seed uint64) *Link {
+	return sim.ScaledLink(m, frac, seed)
+}
+
+// DefaultSimConfig returns the default session configuration (2 s
+// buffer target).
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// Simulate runs a trace-driven playback session and reports delivered
+// quality, buffering, and bandwidth.
+func Simulate(m *Manifest, tr *ViewTrace, link *Link, pl Planner, cfg SimConfig) (*SessionResult, error) {
+	return sim.Run(m, tr, link, pl, cfg)
+}
+
+// NewServer returns an HTTP server for an encoded video.
+func NewServer(m *Manifest) (*Server, error) { return server.New(m) }
+
+// NewClient returns a streaming client for a server base URL.
+func NewClient(baseURL string) *Client { return panoclient.New(baseURL) }
