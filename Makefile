@@ -1,0 +1,40 @@
+# Development targets. `make check` is the gate every change must pass:
+# vet, formatting, and the full test suite under the race detector
+# (which exercises the concurrent obs registry, among others).
+
+GO ?= go
+
+.PHONY: build test check vet fmt race bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails if any file needs reformatting.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# -short skips only the full paper-evaluation registry sweep (which
+# exceeds go test's default timeout under the ~10x race slowdown);
+# everything else — including the dedicated multi-goroutine registry
+# tests in internal/obs — runs with the race detector on.
+race:
+	$(GO) test -race -short ./...
+
+check: vet fmt race
+
+# Quick-scale paper evaluation; writes BENCH_<id>.json files.
+bench: build
+	$(GO) run ./cmd/pano-bench -scale quick
+
+clean:
+	rm -f BENCH_*.json
+	rm -rf fig14-out

@@ -3,27 +3,45 @@
 //
 // Usage:
 //
-//	pano-bench [-scale quick|paper] [-list] [experiment ids...]
+//	pano-bench [-scale quick|paper] [-list] [-json-dir .] [experiment ids...]
 //
 // With no ids, every experiment runs in order. Ids match DESIGN.md §3:
 // fig1 fig3 fig4 fig6 fig7 fig8 fig10 fig13 fig14 fig15 fig16a fig16b
 // fig16c fig16d fig17a fig17b fig17c fig18a fig18b tab2 tab3 lut prune,
 // plus the extensions joint3 and crossuser. fig14 writes its snapshot
 // PNGs into ./fig14-out.
+//
+// Each experiment's result is also written as machine-readable JSON to
+// BENCH_<id>.json under -json-dir (default the working directory; set
+// -json-dir "" to disable), so the bench trajectory can be tracked
+// across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"pano/internal/experiments"
 )
 
+// benchRecord is the schema of a BENCH_<id>.json file.
+type benchRecord struct {
+	ID      string     `json:"id"`
+	Scale   string     `json:"scale"`
+	Title   string     `json:"title"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+	Seconds float64    `json:"seconds"`
+}
+
 func main() {
 	scale := flag.String("scale", "quick", "dataset scale: quick or paper")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonDir := flag.String("json-dir", ".", `directory for BENCH_<id>.json results ("" = disabled)`)
 	flag.Parse()
 
 	if *list {
@@ -58,8 +76,33 @@ func main() {
 			exit = 1
 			continue
 		}
+		elapsed := time.Since(start).Seconds()
 		fmt.Print(table.String())
-		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Printf("(%s in %.1fs)\n\n", id, elapsed)
+		if *jsonDir != "" {
+			rec := benchRecord{
+				ID: id, Scale: *scale, Title: table.Title,
+				Header: table.Header, Rows: table.Rows, Seconds: elapsed,
+			}
+			if err := writeJSON(filepath.Join(*jsonDir, "BENCH_"+id+".json"), rec); err != nil {
+				fmt.Fprintf(os.Stderr, "pano-bench: %s: %v\n", id, err)
+				exit = 1
+			}
+		}
 	}
 	os.Exit(exit)
+}
+
+func writeJSON(path string, rec benchRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

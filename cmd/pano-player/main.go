@@ -5,6 +5,11 @@
 //
 //	pano-player [-url http://127.0.0.1:8360] [-planner pano|viewport|whole]
 //	            [-buffer 2] [-chunks 0] [-trace-seed 3]
+//	            [-events] [-metrics]
+//
+// -events mirrors the session's structured event log as JSON lines on
+// stderr; -metrics dumps the session's metrics in Prometheus text
+// exposition format on exit.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 
 	"pano/internal/client"
+	"pano/internal/obs"
 	"pano/internal/player"
 	"pano/internal/scene"
 	"pano/internal/viewport"
@@ -26,6 +32,8 @@ func main() {
 	buffer := flag.Float64("buffer", 2, "buffer target in seconds")
 	chunks := flag.Int("chunks", 0, "max chunks to stream (0 = all)")
 	traceSeed := flag.Uint64("trace-seed", 3, "viewpoint trace seed")
+	events := flag.Bool("events", false, "emit structured JSON events on stderr")
+	metrics := flag.Bool("metrics", false, "dump Prometheus metrics on exit")
 	flag.Parse()
 
 	var pl player.Planner
@@ -57,11 +65,25 @@ func main() {
 	})
 	tr := viewport.Synthesize(proxy, *traceSeed, viewport.DefaultSynthesizeOpts())
 
+	reg := obs.NewRegistry()
+	var evlog *obs.EventLog
+	if *events {
+		evlog = obs.NewEventLog(os.Stderr, 0)
+	} else {
+		evlog = obs.NewEventLog(nil, 0)
+	}
 	res, err := cl.Stream(ctx, tr, client.StreamConfig{
 		BufferTargetSec: *buffer,
 		Planner:         pl,
 		MaxChunks:       *chunks,
+		Obs:             reg,
+		Log:             evlog,
 	})
+	if *metrics {
+		// Written before the error check so a failed session still
+		// dumps what it recorded (log.Fatalf skips defers).
+		_ = reg.WritePrometheus(os.Stderr)
+	}
 	if err != nil {
 		log.Fatalf("pano-player: %v", err)
 	}
@@ -73,6 +95,8 @@ func main() {
 	}
 	fmt.Printf("total: %d bytes over %d chunks (planner=%s)\n",
 		res.TotalBytes, len(res.Chunks), pl.Name())
+	fmt.Printf("qoe: est PSPNR %.1f dB (MOS %d), rebuffer %.2fs\n",
+		res.MeanEstPSPNR, res.MOS(), res.RebufferSec)
 }
 
 func levelSpread(ch client.ChunkResult) (hi, lo int) {

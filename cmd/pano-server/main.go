@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 
 	"pano/internal/manifest"
+	"pano/internal/obs"
 	"pano/internal/provider"
 	"pano/internal/scene"
 	"pano/internal/server"
@@ -33,6 +35,8 @@ func main() {
 	genre := flag.String("genre", "sports", "genre for the generated video")
 	seed := flag.Uint64("seed", 1, "generation seed")
 	duration := flag.Int("duration", 10, "video duration in seconds")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logRequests := flag.Bool("log-requests", false, "emit one structured JSON log line per request")
 	flag.Parse()
 
 	var m *manifest.Video
@@ -65,13 +69,30 @@ func main() {
 			log.Fatalf("pano-server: %v", err)
 		}
 	}
-	s, err := server.New(m)
+	reg := obs.NewRegistry()
+	opts := []server.Option{server.WithObs(reg)}
+	if *logRequests {
+		opts = append(opts, server.WithEventLog(obs.NewEventLog(os.Stderr, 0)))
+	}
+	s, err := server.New(m, opts...)
 	if err != nil {
 		log.Fatalf("pano-server: %v", err)
 	}
-	log.Printf("serving %q (%d chunks, %d tiles/chunk) on %s",
+	handler := s.Handler()
+	if *enablePprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof mounted at /debug/pprof/")
+	}
+	log.Printf("serving %q (%d chunks, %d tiles/chunk) on %s (metrics at /metrics)",
 		m.Name, m.NumChunks(), len(m.Chunks[0].Tiles), *addr)
-	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+	log.Fatal(http.ListenAndServe(*addr, handler))
 }
 
 func parseGenre(s string) (scene.Genre, error) {

@@ -21,9 +21,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"pano/internal/experiments"
 	"pano/internal/nettrace"
+	"pano/internal/obs"
 	"pano/internal/provider"
 )
 
@@ -38,6 +40,11 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatalf("pano-tracegen: %v", err)
 	}
+	// Structured progress log: one JSON line per artifact plus a final
+	// summary (stderr, same stream log.Fatalf uses).
+	slog := obs.NewEventLog(os.Stderr, 0).Session("out_dir", *out, "seed", *seed)
+	start := time.Now()
+	files := 0
 	scale := experiments.QuickScale()
 	scale.TotalVideos = *videos
 	scale.TracedVideos = *videos
@@ -60,8 +67,10 @@ func main() {
 			if err := writeFile(filepath.Join(*out, name), tr.WriteCSV); err != nil {
 				log.Fatalf("pano-tracegen: %v", err)
 			}
+			files++
 		}
-		log.Printf("wrote %s (%d chunks, %d user traces)", base, m.NumChunks(), *users)
+		files++
+		slog.Info("video_written", "base", base, "chunks", m.NumChunks(), "user_traces", *users)
 	}
 	for i, mbps := range []float64{0.71, 1.05} {
 		tr := nettrace.SynthesizeLTE(*seed+uint64(i), 600, mbps)
@@ -69,8 +78,12 @@ func main() {
 		if err := writeFile(filepath.Join(*out, name), tr.WriteCSV); err != nil {
 			log.Fatalf("pano-tracegen: %v", err)
 		}
-		log.Printf("wrote %s (mean %.2f Mbps)", name, tr.Mean())
+		files++
+		slog.Info("nettrace_written", "name", name, "mean_mbps", tr.Mean())
 	}
+	slog.Info("dataset_complete",
+		"videos", *videos, "users", *users, "files", files,
+		"elapsed_sec", time.Since(start).Seconds())
 }
 
 func writeFile(path string, encode func(w io.Writer) error) error {

@@ -1,0 +1,65 @@
+package abr
+
+import (
+	"math"
+	"testing"
+
+	"pano/internal/codec"
+	"pano/internal/obs"
+)
+
+func flatHorizon(n int) []ChunkPlan {
+	h := make([]ChunkPlan, n)
+	for i := range h {
+		for l := 0; l < codec.NumLevels; l++ {
+			h[i].Bits[l] = float64(codec.NumLevels-l) * 1e6
+			h[i].Quality[l] = float64(codec.NumLevels - l)
+		}
+	}
+	return h
+}
+
+func TestMPCRecordsDecisionLatency(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMPC(2)
+	m.Obs = reg
+	lv := m.PickLevel(2, 8e6, 1, -1, flatHorizon(3))
+	if !lv.Valid() {
+		t.Fatalf("invalid level %v", lv)
+	}
+	if got := reg.HistogramCount("pano_abr_decision_seconds"); got != 1 {
+		t.Fatalf("decision latency observations = %d, want 1", got)
+	}
+	if got := reg.CounterValue("pano_abr_level_decisions_total", obs.L("level", levelLabel(lv))); got != 1 {
+		t.Fatalf("level decision counter = %v, want 1", got)
+	}
+	// With no registry the same call still works.
+	m.Obs = nil
+	if got := m.PickLevel(2, 8e6, 1, -1, flatHorizon(3)); got != lv {
+		t.Fatalf("Obs changed the decision: %v vs %v", got, lv)
+	}
+}
+
+func TestBandwidthPredictorRecordsError(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewBandwidthPredictor()
+	p.Obs = reg
+	p.Observe(1e6) // no prior prediction: nothing recorded
+	if got := reg.HistogramCount("pano_abr_bw_prediction_error_ratio"); got != 0 {
+		t.Fatalf("error recorded with no prediction: %d", got)
+	}
+	p.Observe(2e6) // prediction was 1e6, actual 2e6 → error 0.5
+	if got := reg.HistogramCount("pano_abr_bw_prediction_error_ratio"); got != 1 {
+		t.Fatalf("error observations = %d, want 1", got)
+	}
+	if got := reg.HistogramSum("pano_abr_bw_prediction_error_ratio"); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("error sum = %v, want 0.5", got)
+	}
+	// Instrumentation must not change the estimate.
+	q := NewBandwidthPredictor()
+	q.Observe(1e6)
+	q.Observe(2e6)
+	if p.Predict() != q.Predict() {
+		t.Fatalf("Obs changed prediction: %v vs %v", p.Predict(), q.Predict())
+	}
+}

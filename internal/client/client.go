@@ -8,6 +8,7 @@ package client
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,8 +17,11 @@ import (
 	"pano/internal/abr"
 	"pano/internal/codec"
 	"pano/internal/frame"
+	"pano/internal/jnd"
 	"pano/internal/manifest"
+	"pano/internal/obs"
 	"pano/internal/player"
+	"pano/internal/quality"
 	"pano/internal/server"
 	"pano/internal/viewport"
 )
@@ -125,6 +129,14 @@ type StreamConfig struct {
 	// emulating a shaped link when the real transport (e.g. loopback)
 	// is effectively unbounded. 0 = no cap.
 	MaxRateBps float64
+	// Obs receives per-chunk QoE metrics (estimated PSPNR, rebuffer
+	// seconds, bytes, ABR decisions); nil disables instrumentation at
+	// zero cost.
+	Obs *obs.Registry
+	// Log receives structured per-chunk events and a session_summary
+	// event that fires on every exit path, success or failure, with a
+	// terminal status; nil disables it.
+	Log *obs.EventLog
 }
 
 // StreamResult summarizes an HTTP streaming session.
@@ -134,33 +146,102 @@ type StreamResult struct {
 	// StartupDelay is manifest fetch + first chunk download.
 	StartupDelay time.Duration
 	TotalBytes   int
+	// RebufferSec is the total stall time implied by the playout
+	// buffer model (download time exceeding the buffer).
+	RebufferSec float64
+	// MeanEstPSPNR is the session-average client-estimated viewport
+	// PSPNR. It is only computed when Obs or Log is attached (the
+	// estimate costs CPU); 0 otherwise.
+	MeanEstPSPNR float64
 }
+
+// MOS returns the Table 3 opinion-score band of the session's
+// estimated quality (meaningful only when MeanEstPSPNR was computed).
+func (r *StreamResult) MOS() int { return quality.MOSFromPSPNR(r.MeanEstPSPNR) }
 
 // Stream runs a full adaptive session: fetch manifest, then per chunk
 // run MPC + the planner, fetch every tile at its chosen level, and
 // account throughput. The viewpoint trace plays the role of the HMD
 // sensor feed.
-func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfig) (*StreamResult, error) {
+//
+// When cfg.Log is attached, Stream emits a session_summary event on
+// every exit path — success or failure — with a terminal status: "ok",
+// "manifest_error", "tile_error", or "canceled".
+func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfig) (result *StreamResult, err error) {
 	if cfg.BufferTargetSec == 0 {
 		cfg.BufferTargetSec = 2
 	}
 	if cfg.Planner == nil {
 		cfg.Planner = player.NewPanoPlanner()
 	}
+	cfg.Planner = player.Instrument(cfg.Planner, cfg.Obs)
+	instrumented := cfg.Obs != nil || cfg.Log != nil
+
+	res := &StreamResult{}
+	sess := cfg.Log.Session("planner", cfg.Planner.Name(), "base_url", c.BaseURL)
+	stage := "manifest"
 	start := time.Now()
+	defer func() {
+		status := "ok"
+		if err != nil {
+			switch {
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				status = "canceled"
+			case stage == "manifest":
+				status = "manifest_error"
+			default:
+				status = "tile_error"
+			}
+		}
+		cfg.Obs.Counter("pano_client_sessions_total", "streaming sessions by terminal status",
+			obs.L("status", status)).Inc()
+		args := []any{
+			"status", status, "chunks_streamed", len(res.Chunks),
+			"total_bytes", res.TotalBytes, "rebuffer_sec", res.RebufferSec,
+			"startup_sec", res.StartupDelay.Seconds(),
+			"elapsed_sec", time.Since(start).Seconds(),
+		}
+		if instrumented {
+			args = append(args, "mean_est_pspnr_db", res.MeanEstPSPNR, "mos", res.MOS())
+		}
+		if err != nil {
+			args = append(args, "error", err.Error())
+		}
+		sess.Info("session_summary", args...)
+	}()
+
 	m, err := c.FetchManifest(ctx)
 	if err != nil {
 		return nil, err
 	}
-	res := &StreamResult{Manifest: m}
+	stage = "stream"
+	res.Manifest = m
+	sess = sess.With("video", m.Name, "chunks", m.NumChunks(), "tiles", len(m.Chunks[0].Tiles))
+
+	// QoE instruments (no-ops when cfg.Obs is nil).
+	chunksTotal := cfg.Obs.Counter("pano_client_chunks_total", "chunks streamed")
+	bytesTotal := cfg.Obs.Counter("pano_client_bytes_total", "media bytes downloaded")
+	rebufTotal := cfg.Obs.Counter("pano_client_rebuffer_seconds_total", "total stall seconds")
+	dlSeconds := cfg.Obs.Histogram("pano_client_chunk_download_seconds",
+		"per-chunk download time over HTTP", nil)
+	estPSPNR := cfg.Obs.Histogram("pano_client_est_pspnr_db",
+		"client-estimated per-chunk viewport PSPNR", quality.PSPNRBuckets)
+	bufGauge := cfg.Obs.Gauge("pano_client_buffer_sec", "playback buffer after each chunk")
+	var prof *jnd.Profile
+	if instrumented {
+		prof = jnd.Default()
+	}
+
 	est := player.NewEstimator()
 	mpc := abr.NewMPC(cfg.BufferTargetSec)
+	mpc.Obs = cfg.Obs
 	bw := abr.NewBandwidthPredictor()
+	bw.Obs = cfg.Obs
 	n := m.NumChunks()
 	if cfg.MaxChunks > 0 && cfg.MaxChunks < n {
 		n = cfg.MaxChunks
 	}
-	var buffer float64
+	var buffer, estSum float64
 	prev := codec.Level(-1)
 	for k := 0; k < n; k++ {
 		nowMedia := float64(k)*m.ChunkSec - buffer
@@ -213,11 +294,39 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 		if k == 0 {
 			res.StartupDelay = time.Since(start)
 		}
+		var stall float64
+		if k > 0 && dl.Seconds() > buffer {
+			stall = dl.Seconds() - buffer
+			res.RebufferSec += stall
+		}
 		buffer = buffer - dl.Seconds()
 		if buffer < 0 {
 			buffer = 0
 		}
 		buffer += m.ChunkSec
+
+		chunksTotal.Inc()
+		bytesTotal.Add(float64(bytes))
+		rebufTotal.Add(stall)
+		dlSeconds.Observe(dl.Seconds())
+		bufGauge.Set(buffer)
+		if instrumented {
+			guess := est.BestGuessView(m, tr, k, nowMedia)
+			e := player.FramePSPNR(m, k, alloc, guess, prof)
+			estPSPNR.Observe(e)
+			estSum += e
+			res.MeanEstPSPNR = estSum / float64(k+1)
+			sess.Debug("chunk_done",
+				"chunk", k, "bytes", bytes, "download_sec", dl.Seconds(),
+				"throughput_bps", thr, "stall_sec", stall, "buffer_sec", buffer,
+				"est_pspnr_db", e)
+		}
+	}
+	if instrumented {
+		cfg.Obs.Gauge("pano_client_session_pspnr_db",
+			"session mean client-estimated viewport PSPNR").Set(res.MeanEstPSPNR)
+		cfg.Obs.Gauge("pano_client_session_mos",
+			"Table 3 opinion-score band of the estimated session quality").Set(float64(res.MOS()))
 	}
 	return res, nil
 }

@@ -1,0 +1,183 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"pano/internal/obs"
+	"pano/internal/server"
+)
+
+// streamWithObs runs a session with observability attached and returns
+// the result, error, registry, and event log.
+func streamWithObs(t *testing.T, url string, ctx context.Context, cfg StreamConfig) (*StreamResult, error, *obs.Registry, *obs.EventLog) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	el := obs.NewEventLog(nil, 256)
+	cfg.Obs = reg
+	cfg.Log = el
+	res, err := New(url).Stream(ctx, fixture(t).tr, cfg)
+	return res, err, reg, el
+}
+
+func summaryStatus(t *testing.T, el *obs.EventLog) string {
+	t.Helper()
+	e, ok := el.Last("session_summary")
+	if !ok {
+		t.Fatal("no session_summary event fired")
+	}
+	return e.Str("status")
+}
+
+func TestStreamRecordsQoEMetrics(t *testing.T) {
+	ts := testServer(t)
+	res, err, reg, el := streamWithObs(t, ts.URL, context.Background(), StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue("pano_client_chunks_total"); got != float64(len(res.Chunks)) {
+		t.Errorf("chunks counter %v, result has %d", got, len(res.Chunks))
+	}
+	if got := reg.CounterValue("pano_client_bytes_total"); got != float64(res.TotalBytes) {
+		t.Errorf("bytes counter %v, result has %d", got, res.TotalBytes)
+	}
+	if got := reg.HistogramCount("pano_client_est_pspnr_db"); got != uint64(len(res.Chunks)) {
+		t.Errorf("est pspnr observations %d, want %d", got, len(res.Chunks))
+	}
+	if res.MeanEstPSPNR <= 0 {
+		t.Errorf("MeanEstPSPNR = %v", res.MeanEstPSPNR)
+	}
+	if mos := res.MOS(); mos < 1 || mos > 5 {
+		t.Errorf("MOS = %d", mos)
+	}
+	if got := reg.CounterValue("pano_client_sessions_total", obs.L("status", "ok")); got != 1 {
+		t.Errorf("sessions ok counter = %v", got)
+	}
+	// MPC decision latency flows through from abr.
+	if got := reg.HistogramCount("pano_abr_decision_seconds"); got == 0 {
+		t.Error("no ABR decision latency recorded")
+	}
+	if got := reg.HistogramCount("pano_planner_plan_seconds", obs.L("planner", "pano")); got != uint64(len(res.Chunks)) {
+		t.Errorf("planner latency observations %d, want %d", got, len(res.Chunks))
+	}
+	if status := summaryStatus(t, el); status != "ok" {
+		t.Errorf("summary status %q, want ok", status)
+	}
+	e, _ := el.Last("session_summary")
+	if got, ok := e.Attr("chunks_streamed").(int64); !ok || int(got) != len(res.Chunks) {
+		t.Errorf("summary chunks_streamed attr = %v", e.Attr("chunks_streamed"))
+	}
+}
+
+func TestStreamManifestFailureFiresSummary(t *testing.T) {
+	// A server that refuses the manifest entirely.
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer broken.Close()
+
+	_, err, reg, el := streamWithObs(t, broken.URL, context.Background(), StreamConfig{})
+	if err == nil {
+		t.Fatal("manifest failure should error")
+	}
+	if status := summaryStatus(t, el); status != "manifest_error" {
+		t.Errorf("summary status %q, want manifest_error", status)
+	}
+	if got := reg.CounterValue("pano_client_sessions_total", obs.L("status", "manifest_error")); got != 1 {
+		t.Errorf("sessions manifest_error counter = %v", got)
+	}
+	e, _ := el.Last("session_summary")
+	if e.Str("error") == "" {
+		t.Error("summary should carry the error")
+	}
+}
+
+func TestStreamMidStreamTileFailureFiresSummary(t *testing.T) {
+	s, err := server.New(fixture(t).man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := s.Handler()
+	var tileReqs atomic.Int64
+	// Serve the manifest and the first few tiles, then start failing:
+	// the session dies mid-stream.
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/video/") && tileReqs.Add(1) > 3 {
+			http.Error(w, "disk on fire", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	res, err, reg, el := streamWithObs(t, flaky.URL, context.Background(), StreamConfig{})
+	if err == nil {
+		t.Fatal("mid-stream tile failure should error")
+	}
+	if res != nil {
+		t.Fatalf("failed stream returned a result: %+v", res)
+	}
+	if status := summaryStatus(t, el); status != "tile_error" {
+		t.Errorf("summary status %q, want tile_error", status)
+	}
+	if got := reg.CounterValue("pano_client_sessions_total", obs.L("status", "tile_error")); got != 1 {
+		t.Errorf("sessions tile_error counter = %v", got)
+	}
+}
+
+func TestStreamCancellationFiresSummary(t *testing.T) {
+	ts := testServer(t)
+
+	// Cancelled before the manifest fetch.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err, _, el := streamWithObs(t, ts.URL, ctx, StreamConfig{})
+	if err == nil {
+		t.Fatal("cancelled context should error")
+	}
+	if status := summaryStatus(t, el); status != "canceled" {
+		t.Errorf("pre-manifest cancel summary status %q, want canceled", status)
+	}
+
+	// Cancelled mid-stream: let the manifest through, then cancel on
+	// the first tile request.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	s, err := server.New(fixture(t).man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := s.Handler()
+	tricky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/video/") {
+			cancel2()
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer tricky.Close()
+	_, err, reg, el2 := streamWithObs(t, tricky.URL, ctx2, StreamConfig{})
+	if err == nil {
+		t.Fatal("mid-stream cancel should error")
+	}
+	if status := summaryStatus(t, el2); status != "canceled" {
+		t.Errorf("mid-stream cancel summary status %q, want canceled", status)
+	}
+	if got := reg.CounterValue("pano_client_sessions_total", obs.L("status", "canceled")); got != 1 {
+		t.Errorf("sessions canceled counter = %v", got)
+	}
+}
+
+func TestStreamUninstrumentedPaysNothing(t *testing.T) {
+	ts := testServer(t)
+	res, err := New(ts.URL).Stream(context.Background(), fixture(t).tr, StreamConfig{MaxChunks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without Obs/Log the estimate pipeline must stay off.
+	if res.MeanEstPSPNR != 0 {
+		t.Errorf("MeanEstPSPNR computed without instrumentation: %v", res.MeanEstPSPNR)
+	}
+}

@@ -1,0 +1,38 @@
+// Package obs is the repo's zero-dependency observability layer: a
+// concurrent-safe metrics registry (counters, gauges, fixed-bucket
+// histograms, all with labels) rendered in Prometheus text exposition
+// format, a structured event logger built on log/slog with an
+// in-memory ring buffer for test assertions, and timing helpers for
+// hot paths. A nil *Registry / *EventLog is a valid no-op, so library
+// code takes them as plain injectable parameters and pays nothing when
+// observability is disabled.
+//
+// The metric set mirrors the evaluation signals of the Pano paper
+// (SIGCOMM 2019), so scraping a running server or simulator reproduces
+// the paper's per-session time series:
+//
+//	pano_sim_chunk_pspnr_db / pano_client_est_pspnr_db
+//	    per-chunk viewport PSPNR — the quality axis of Figures 13, 15,
+//	    and the estimation-error gap of Figure 16(a).
+//	pano_sim_rebuffer_seconds_total / pano_client_rebuffer_seconds_total
+//	    stall time, the numerator of the buffering ratio in Figure 12's
+//	    QoE comparison and the rebuffering axis of Figure 17.
+//	pano_sim_bits_total / pano_client_bytes_total / pano_tile_bytes_total
+//	    downloaded volume — the bandwidth-savings axis of Figure 18.
+//	pano_sim_session_mos / pano_client_session_mos
+//	    the Table 3 opinion-score band of the session's mean PSPNR.
+//	pano_abr_decision_seconds
+//	    MPC chunk-level decision latency, the §6.1 runtime overhead.
+//	pano_abr_bw_prediction_error_ratio
+//	    |predicted − actual|/actual throughput, the §8.3 robustness
+//	    variable (Figure 17's throughput-error axis).
+//	pano_planner_plan_seconds
+//	    per-chunk tile-allocation latency (the pruning speedup of
+//	    Table 2 shows up here).
+//	pano_http_requests_total / pano_http_request_seconds
+//	    DASH endpoint load and latency on the §6.2 server.
+//
+// Wiring: internal/server mounts /metrics; internal/client.Stream,
+// internal/sim.Run, internal/abr, and internal/player accept a
+// *Registry (nil = off); cmd/pano-server adds optional net/http/pprof.
+package obs

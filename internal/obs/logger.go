@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one captured log record, flattened for test assertions.
+// Group names are joined into the attribute key with dots.
+type Event struct {
+	Time  time.Time
+	Level slog.Level
+	Msg   string
+	Attrs map[string]any
+}
+
+// Attr returns the named attribute (nil when absent).
+func (e Event) Attr(key string) any { return e.Attrs[key] }
+
+// Str returns the named attribute rendered as a string ("" when
+// absent); convenient for status fields.
+func (e Event) Str(key string) string {
+	v, ok := e.Attrs[key]
+	if !ok {
+		return ""
+	}
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return strings.TrimSpace(slog.AnyValue(v).String())
+}
+
+// ring is a fixed-capacity event buffer shared by handler clones.
+type ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+}
+
+func (r *ring) add(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+func (r *ring) events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// ringHandler is a slog.Handler capturing records into a ring and
+// optionally forwarding them to a second handler (e.g. JSON to stderr).
+type ringHandler struct {
+	ring   *ring
+	attrs  []slog.Attr // accumulated WithAttrs, keys already prefixed
+	groups []string
+	fwd    slog.Handler
+}
+
+func (h *ringHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *ringHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	c := *h
+	c.attrs = append(append([]slog.Attr(nil), h.attrs...), prefixAttrs(h.groups, attrs)...)
+	if h.fwd != nil {
+		c.fwd = h.fwd.WithAttrs(attrs)
+	}
+	return &c
+}
+
+func (h *ringHandler) WithGroup(name string) slog.Handler {
+	c := *h
+	c.groups = append(append([]string(nil), h.groups...), name)
+	if h.fwd != nil {
+		c.fwd = h.fwd.WithGroup(name)
+	}
+	return &c
+}
+
+func (h *ringHandler) Handle(ctx context.Context, rec slog.Record) error {
+	e := Event{Time: rec.Time, Level: rec.Level, Msg: rec.Message, Attrs: make(map[string]any)}
+	for _, a := range h.attrs {
+		e.Attrs[a.Key] = a.Value.Resolve().Any()
+	}
+	prefix := strings.Join(h.groups, ".")
+	rec.Attrs(func(a slog.Attr) bool {
+		k := a.Key
+		if prefix != "" {
+			k = prefix + "." + k
+		}
+		e.Attrs[k] = a.Value.Resolve().Any()
+		return true
+	})
+	h.ring.add(e)
+	if h.fwd != nil {
+		return h.fwd.Handle(ctx, rec)
+	}
+	return nil
+}
+
+func prefixAttrs(groups []string, attrs []slog.Attr) []slog.Attr {
+	if len(groups) == 0 {
+		return attrs
+	}
+	prefix := strings.Join(groups, ".") + "."
+	out := make([]slog.Attr, len(attrs))
+	for i, a := range attrs {
+		out[i] = slog.Attr{Key: prefix + a.Key, Value: a.Value}
+	}
+	return out
+}
+
+// EventLog is a structured event logger built on log/slog. It keeps the
+// most recent events in an in-memory ring buffer for test assertions
+// and can mirror records as JSON lines to a writer. A nil *EventLog is
+// a valid no-op logger.
+type EventLog struct {
+	ring   *ring
+	logger *slog.Logger
+}
+
+// DefaultRingSize is the event capacity used when NewEventLog is given
+// a non-positive size.
+const DefaultRingSize = 512
+
+// NewEventLog returns an event log retaining the last ringSize events
+// (DefaultRingSize if <= 0). When w is non-nil, records are also
+// emitted to it in slog's JSON format.
+func NewEventLog(w io.Writer, ringSize int) *EventLog {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	r := &ring{buf: make([]Event, ringSize)}
+	var fwd slog.Handler
+	if w != nil {
+		fwd = slog.NewJSONHandler(w, nil)
+	}
+	return &EventLog{ring: r, logger: slog.New(&ringHandler{ring: r, fwd: fwd})}
+}
+
+// discardHandler drops everything (stand-in for slog.DiscardHandler,
+// which needs go >= 1.24).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+var nopLogger = slog.New(discardHandler{})
+
+// Logger returns the underlying *slog.Logger (a discard logger when l
+// is nil), so call sites never need a nil check before logging.
+func (l *EventLog) Logger() *slog.Logger {
+	if l == nil {
+		return nopLogger
+	}
+	return l.logger
+}
+
+// Session returns a logger scoped with session attributes (e.g. video
+// ID, chunk count, tile count) attached to every subsequent record.
+func (l *EventLog) Session(attrs ...any) *slog.Logger {
+	return l.Logger().With(attrs...)
+}
+
+// Events returns the buffered events, oldest first.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.ring.events()
+}
+
+// Find returns every buffered event with the given message.
+func (l *EventLog) Find(msg string) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Msg == msg {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Last returns the most recent event with the given message.
+func (l *EventLog) Last(msg string) (Event, bool) {
+	evs := l.Find(msg)
+	if len(evs) == 0 {
+		return Event{}, false
+	}
+	return evs[len(evs)-1], true
+}

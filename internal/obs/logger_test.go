@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventLogCapturesEvents(t *testing.T) {
+	l := NewEventLog(nil, 16)
+	l.Logger().Info("chunk_done", "chunk", 3, "bytes", 1024)
+	l.Logger().Warn("rebuffer", "seconds", 0.25)
+
+	evs := l.Events()
+	if len(evs) != 2 {
+		t.Fatalf("captured %d events, want 2", len(evs))
+	}
+	e := evs[0]
+	if e.Msg != "chunk_done" || e.Level != slog.LevelInfo {
+		t.Fatalf("event 0 = %+v", e)
+	}
+	if got, ok := e.Attr("chunk").(int64); !ok || got != 3 {
+		t.Fatalf("chunk attr = %v", e.Attr("chunk"))
+	}
+	if got, ok := l.Last("rebuffer"); !ok || got.Attr("seconds").(float64) != 0.25 {
+		t.Fatalf("Last(rebuffer) = %+v ok=%v", got, ok)
+	}
+}
+
+func TestEventLogSessionScope(t *testing.T) {
+	l := NewEventLog(nil, 16)
+	sess := l.Session("video", "roller-coaster", "tiles", 30)
+	sess.Info("session_start")
+	sess.Info("chunk_done", "chunk", 0)
+
+	for _, e := range l.Events() {
+		if e.Str("video") != "roller-coaster" {
+			t.Fatalf("event %q missing session attr: %+v", e.Msg, e.Attrs)
+		}
+		if got, ok := e.Attr("tiles").(int64); !ok || got != 30 {
+			t.Fatalf("event %q tiles attr = %v", e.Msg, e.Attr("tiles"))
+		}
+	}
+	if e, _ := l.Last("chunk_done"); e.Attr("chunk").(int64) != 0 {
+		t.Fatalf("chunk attr lost: %+v", e.Attrs)
+	}
+}
+
+func TestEventLogGroups(t *testing.T) {
+	l := NewEventLog(nil, 8)
+	l.Logger().WithGroup("qoe").With("mos", 4).Info("summary", "pspnr", 61.5)
+	e, ok := l.Last("summary")
+	if !ok {
+		t.Fatal("no summary event")
+	}
+	if got, ok := e.Attr("qoe.mos").(int64); !ok || got != 4 {
+		t.Fatalf("grouped With attr = %v (attrs %+v)", e.Attr("qoe.mos"), e.Attrs)
+	}
+	if got, ok := e.Attr("qoe.pspnr").(float64); !ok || got != 61.5 {
+		t.Fatalf("grouped record attr = %v", e.Attr("qoe.pspnr"))
+	}
+}
+
+func TestEventLogRingWraps(t *testing.T) {
+	l := NewEventLog(nil, 4)
+	for i := 0; i < 10; i++ {
+		l.Logger().Info("e", "i", i)
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	// Oldest first: 6,7,8,9.
+	for j, e := range evs {
+		if got := e.Attr("i").(int64); got != int64(6+j) {
+			t.Fatalf("evs[%d].i = %d, want %d", j, got, 6+j)
+		}
+	}
+}
+
+func TestEventLogForwardsJSON(t *testing.T) {
+	var b strings.Builder
+	l := NewEventLog(&b, 8)
+	l.Session("video", "v1").Info("session_summary", "status", "ok")
+	line := strings.TrimSpace(b.String())
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("forwarded line not JSON: %v\n%s", err, line)
+	}
+	if rec["msg"] != "session_summary" || rec["status"] != "ok" || rec["video"] != "v1" {
+		t.Fatalf("forwarded record = %v", rec)
+	}
+}
+
+func TestNopEventLog(t *testing.T) {
+	var l *EventLog
+	l.Logger().Info("ignored", "k", "v") // must not panic
+	l.Session("a", 1).Warn("also ignored")
+	if evs := l.Events(); evs != nil {
+		t.Fatalf("nil log events = %v", evs)
+	}
+	if _, ok := l.Last("ignored"); ok {
+		t.Fatal("nil log retained an event")
+	}
+}
+
+func TestEventLogConcurrent(t *testing.T) {
+	l := NewEventLog(nil, 128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sess := l.Session("worker", id)
+			for i := 0; i < 50; i++ {
+				sess.Info("tick", "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(l.Events()); got != 128 {
+		t.Fatalf("ring holds %d, want full 128", got)
+	}
+}

@@ -1,0 +1,484 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value dimension on a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type metricType int
+
+const (
+	counterType metricType = iota
+	gaugeType
+	histogramType
+)
+
+func (t metricType) String() string {
+	switch t {
+	case counterType:
+		return "counter"
+	case gaugeType:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry is a concurrent-safe metrics registry. A nil *Registry is a
+// valid no-op registry: every method on it (and on the nil instruments
+// it hands out) is safe to call and does nothing, so instrumented code
+// pays only a nil check when observability is disabled.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	buckets []float64
+
+	mu     sync.RWMutex
+	series map[string]*seriesEntry
+}
+
+type seriesEntry struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Nop returns the no-op registry (nil). Instrumented packages take a
+// *Registry and treat nil as "observability disabled".
+func Nop() *Registry { return nil }
+
+// family returns (creating if needed) the family for name, enforcing
+// that a metric name keeps one type for the life of the registry.
+func (r *Registry) family(name, help string, typ metricType, buckets []float64) *family {
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		f = r.fams[name]
+		if f == nil {
+			f = &family{
+				name: name, help: help, typ: typ,
+				buckets: buckets,
+				series:  make(map[string]*seriesEntry),
+			}
+			r.fams[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func (f *family) entry(labels []Label) *seriesEntry {
+	key := labelKey(labels)
+	f.mu.RLock()
+	e := f.series[key]
+	f.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if e = f.series[key]; e != nil {
+		return e
+	}
+	e = &seriesEntry{labels: sortedLabels(labels)}
+	switch f.typ {
+	case counterType:
+		e.counter = &Counter{}
+	case gaugeType:
+		e.gauge = &Gauge{}
+	case histogramType:
+		e.hist = newHistogram(f.buckets)
+	}
+	f.series[key] = e
+	return e
+}
+
+// Counter returns the counter series for name+labels, creating it on
+// first use. Help is recorded from the first registration of the name.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.family(name, help, counterType, nil).entry(labels).counter
+}
+
+// Gauge returns the gauge series for name+labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.family(name, help, gaugeType, nil).entry(labels).gauge
+}
+
+// Histogram returns the histogram series for name+labels. The bucket
+// upper bounds come from the first registration of the name; pass nil
+// for DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return r.family(name, help, histogramType, buckets).entry(labels).hist
+}
+
+// CounterValue reads a counter's current value for test assertions; it
+// returns 0 when the series does not exist.
+func (r *Registry) CounterValue(name string, labels ...Label) float64 {
+	if e := r.lookup(name, labels); e != nil && e.counter != nil {
+		return e.counter.Value()
+	}
+	return 0
+}
+
+// GaugeValue reads a gauge's current value (0 when absent).
+func (r *Registry) GaugeValue(name string, labels ...Label) float64 {
+	if e := r.lookup(name, labels); e != nil && e.gauge != nil {
+		return e.gauge.Value()
+	}
+	return 0
+}
+
+// HistogramCount reads a histogram's observation count (0 when absent).
+func (r *Registry) HistogramCount(name string, labels ...Label) uint64 {
+	if e := r.lookup(name, labels); e != nil && e.hist != nil {
+		return e.hist.Count()
+	}
+	return 0
+}
+
+// HistogramSum reads a histogram's observation sum (0 when absent).
+func (r *Registry) HistogramSum(name string, labels ...Label) float64 {
+	if e := r.lookup(name, labels); e != nil && e.hist != nil {
+		return e.hist.Sum()
+	}
+	return 0
+}
+
+func (r *Registry) lookup(name string, labels []Label) *seriesEntry {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.series[labelKey(labels)]
+}
+
+// Counter is a monotonically increasing float64. Nil-safe.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d (negative deltas are ignored to keep monotonicity).
+func (c *Counter) Add(d float64) {
+	if c == nil || d < 0 {
+		return
+	}
+	addFloat(&c.bits, d)
+}
+
+// Value returns the current value.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is an arbitrary float64. Nil-safe.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the value by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	addFloat(&g.bits, d)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Nil-safe.
+type Histogram struct {
+	upper   []float64 // sorted upper bounds, excluding +Inf
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	total   atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	up := append([]float64(nil), buckets...)
+	sort.Float64s(up)
+	return &Histogram{upper: up, counts: make([]atomic.Uint64, len(up))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	for i, ub := range h.upper {
+		if v <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.total.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// DefBuckets are latency-oriented default bounds in seconds.
+var DefBuckets = []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// LinearBuckets returns n bounds starting at start, spaced by width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}
+
+// ExponentialBuckets returns n bounds starting at start, each factor
+// times the previous.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// addFloat atomically adds d to the float64 stored as bits in u.
+func addFloat(u *atomic.Uint64, d float64) {
+	for {
+		old := u.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if u.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by
+// label set, histograms expanded into cumulative _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			e := f.series[k]
+			switch f.typ {
+			case counterType:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(e.labels, nil), fmtFloat(e.counter.Value()))
+			case gaugeType:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(e.labels, nil), fmtFloat(e.gauge.Value()))
+			case histogramType:
+				h := e.hist
+				var cum uint64
+				for i, ub := range h.upper {
+					cum += h.counts[i].Load()
+					le := Label{Key: "le", Value: fmtFloat(ub)}
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, renderLabels(e.labels, &le), cum)
+				}
+				le := Label{Key: "le", Value: "+Inf"}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, renderLabels(e.labels, &le), h.Count())
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, renderLabels(e.labels, nil), fmtFloat(h.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, renderLabels(e.labels, nil), h.Count())
+			}
+		}
+		f.mu.RUnlock()
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves the registry in Prometheus exposition format; mount it
+// at /metrics. A nil registry serves 503.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if r == nil {
+			http.Error(w, "metrics disabled", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// labelKey renders a canonical map key for a label set.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := sortedLabels(labels)
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// renderLabels renders {k="v",...} with values escaped; extra, when
+// non-nil, is appended after the series labels (used for histogram le).
+func renderLabels(labels []Label, extra *Label) string {
+	if len(labels) == 0 && extra == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	write := func(l Label) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	for _, l := range labels {
+		write(l)
+	}
+	if extra != nil {
+		write(*extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}

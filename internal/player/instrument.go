@@ -1,0 +1,41 @@
+package player
+
+import (
+	"pano/internal/abr"
+	"pano/internal/manifest"
+	"pano/internal/obs"
+)
+
+// instrumentedPlanner wraps a Planner with per-call timing and
+// counting, keyed by planner name.
+type instrumentedPlanner struct {
+	Planner
+	lat   *obs.Histogram
+	plans *obs.Counter
+}
+
+// Instrument wraps p so each Plan call is timed into
+// pano_planner_plan_seconds{planner=...} and counted into
+// pano_planner_plans_total{planner=...}. With a nil registry it
+// returns p unchanged, so it is always safe to call.
+func Instrument(p Planner, reg *obs.Registry) Planner {
+	if reg == nil || p == nil {
+		return p
+	}
+	lbl := obs.L("planner", p.Name())
+	return &instrumentedPlanner{
+		Planner: p,
+		lat: reg.Histogram("pano_planner_plan_seconds",
+			"tile-level allocation latency by planner", nil, lbl),
+		plans: reg.Counter("pano_planner_plans_total",
+			"tile-level allocation calls by planner", lbl),
+	}
+}
+
+func (ip *instrumentedPlanner) Plan(m *manifest.Video, k int, view ChunkView, budget float64) abr.Allocation {
+	t := obs.NewTimer(ip.lat)
+	a := ip.Planner.Plan(m, k, view, budget)
+	t.ObserveDuration()
+	ip.plans.Inc()
+	return a
+}

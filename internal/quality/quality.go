@@ -157,3 +157,8 @@ func PSPNRForMOS(mos int) float64 {
 		return mosBands[mos-2] + 1
 	}
 }
+
+// PSPNRBuckets are histogram bounds for per-chunk PSPNR metrics,
+// spanning the Table 3 MOS bands (≤45 dB is MOS 1, ≥70 dB is MOS 5)
+// with headroom on both sides.
+var PSPNRBuckets = []float64{30, 35, 40, 45, 50, 55, 60, 65, 70, 75, 80, 85}

@@ -13,22 +13,54 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"pano/internal/codec"
 	"pano/internal/manifest"
+	"pano/internal/obs"
 )
 
 // Server serves one video.
 type Server struct {
 	man *manifest.Video
+	reg *obs.Registry
+	log *obs.EventLog
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithObs attaches a metrics registry: per-endpoint request counters
+// (pano_http_requests_total), latency histograms
+// (pano_http_request_seconds), served-bytes counters, and a /metrics
+// endpoint on Handler. nil is the no-op default.
+func WithObs(reg *obs.Registry) Option {
+	return func(s *Server) { s.reg = reg }
+}
+
+// WithEventLog attaches a structured request log. nil is the no-op
+// default.
+func WithEventLog(l *obs.EventLog) Option {
+	return func(s *Server) { s.log = l }
 }
 
 // New validates the manifest and returns a server for it.
-func New(m *manifest.Video) (*Server, error) {
+func New(m *manifest.Video, opts ...Option) (*Server, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	return &Server{man: m}, nil
+	s := &Server{man: m}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg != nil {
+		s.reg.Gauge("pano_video_chunks", "chunks in the served manifest").Set(float64(m.NumChunks()))
+		if m.NumChunks() > 0 {
+			s.reg.Gauge("pano_video_tiles_per_chunk", "tiles per chunk in the served manifest").
+				Set(float64(len(m.Chunks[0].Tiles)))
+		}
+	}
+	return s, nil
 }
 
 // Handler returns the HTTP handler:
@@ -36,17 +68,78 @@ func New(m *manifest.Video) (*Server, error) {
 //	GET /manifest.json   — the native Pano manifest
 //	GET /manifest.mpd    — DASH MPD projection (SRD-tiled, multi-period)
 //	GET /video/{chunk}/{tile}/{level}.bin
+//	GET /metrics         — Prometheus exposition (only with WithObs)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/manifest.json", s.handleManifest)
-	mux.HandleFunc("/manifest.mpd", s.handleMPD)
-	mux.HandleFunc("/video/", s.handleTile)
+	mux.HandleFunc("/manifest.json", s.instrument("manifest", s.handleManifest))
+	mux.HandleFunc("/manifest.mpd", s.instrument("mpd", s.handleMPD))
+	mux.HandleFunc("/video/", s.instrument("tile", s.handleTile))
+	if s.reg != nil {
+		mux.Handle("/metrics", s.reg.Handler())
+	}
 	return mux
 }
 
-func (s *Server) handleMPD(w http.ResponseWriter, r *http.Request) {
+// statusWriter captures the response code and body size for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with per-endpoint request counting,
+// latency, served-bytes accounting, and structured request logging.
+// With no registry and no log attached it returns h untouched.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	if s.reg == nil && s.log == nil {
+		return h
+	}
+	lat := s.reg.Histogram("pano_http_request_seconds",
+		"request handling latency by endpoint", nil, obs.L("endpoint", endpoint))
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		dur := time.Since(start)
+		lat.Observe(dur.Seconds())
+		s.reg.Counter("pano_http_requests_total", "HTTP requests by endpoint, method, and status",
+			obs.L("endpoint", endpoint), obs.L("method", r.Method),
+			obs.L("code", strconv.Itoa(sw.code))).Inc()
+		s.reg.Counter("pano_http_response_bytes_total", "response body bytes by endpoint",
+			obs.L("endpoint", endpoint)).Add(float64(sw.bytes))
+		if endpoint == "tile" && sw.code == http.StatusOK {
+			s.reg.Counter("pano_tile_bytes_total", "tile media bytes served").Add(float64(sw.bytes))
+		}
+		s.log.Logger().Info("http_request",
+			"endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
+			"code", sw.code, "bytes", sw.bytes, "seconds", dur.Seconds())
+	}
+}
+
+// allowGetHead rejects everything but GET and HEAD with 405 (every
+// endpoint, uniformly) and reports whether the request may proceed.
+func allowGetHead(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleMPD(w http.ResponseWriter, r *http.Request) {
+	if !allowGetHead(w, r) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/dash+xml")
@@ -57,8 +150,7 @@ func (s *Server) handleMPD(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	if !allowGetHead(w, r) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -128,8 +220,7 @@ func TilePath(chunk, tile int, level codec.Level) string {
 }
 
 func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	if !allowGetHead(w, r) {
 		return
 	}
 	k, ti, l, err := ParseTilePath(r.URL.Path)

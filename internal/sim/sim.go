@@ -13,6 +13,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"pano/internal/abr"
 	"pano/internal/codec"
@@ -20,6 +21,7 @@ import (
 	"pano/internal/manifest"
 	"pano/internal/mathx"
 	"pano/internal/nettrace"
+	"pano/internal/obs"
 	"pano/internal/player"
 	"pano/internal/quality"
 	"pano/internal/scene"
@@ -51,6 +53,13 @@ type Config struct {
 	// Controller overrides the chunk-level bitrate algorithm (default:
 	// the §6.1 MPC at BufferTargetSec; abr.NewBOLA is the alternative).
 	Controller abr.Controller
+	// Obs receives per-chunk QoE metrics (PSPNR, rebuffer seconds,
+	// bits, level decisions) and session gauges; nil disables
+	// instrumentation at zero cost.
+	Obs *obs.Registry
+	// Log receives structured per-chunk and session-summary events;
+	// nil disables them.
+	Log *obs.EventLog
 }
 
 // DefaultConfig returns a 2 s buffer target session.
@@ -119,13 +128,29 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 	scoreEnc := codec.NewEncoder()
 	est := player.NewEstimator()
 	mpc := abr.NewMPC(cfg.BufferTargetSec)
+	mpc.Obs = cfg.Obs
 	var ctrl abr.Controller = mpc
 	if cfg.Controller != nil {
 		ctrl = cfg.Controller
 	}
 	bw := abr.NewBandwidthPredictor()
+	bw.Obs = cfg.Obs
 
 	res := &Result{System: pl.Name()}
+	pl = player.Instrument(pl, cfg.Obs)
+
+	// QoE instruments (all no-ops when cfg.Obs is nil).
+	chunkPSPNR := cfg.Obs.Histogram("pano_sim_chunk_pspnr_db",
+		"delivered per-chunk viewport PSPNR", quality.PSPNRBuckets)
+	chunksTotal := cfg.Obs.Counter("pano_sim_chunks_total", "chunks simulated")
+	rebufTotal := cfg.Obs.Counter("pano_sim_rebuffer_seconds_total", "total stall seconds")
+	bitsTotal := cfg.Obs.Counter("pano_sim_bits_total", "bits downloaded")
+	dlSeconds := cfg.Obs.Histogram("pano_sim_chunk_download_seconds",
+		"per-chunk download time on the simulated link", nil)
+	bufGauge := cfg.Obs.Gauge("pano_sim_buffer_sec", "playback buffer after each chunk")
+	sess := cfg.Log.Session(
+		"system", pl.Name(), "video", m.Name,
+		"chunks", m.NumChunks(), "tiles", len(m.Chunks[0].Tiles))
 	var wall, buffer float64
 	prevLevel := codec.Level(-1)
 	chunkSec := m.ChunkSec
@@ -181,10 +206,12 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 		dl := link.DownloadTime(wall, bits)
 		wall += dl
 		bw.Observe(bits / dl)
+		var stall float64
 		if k == 0 {
 			res.StartupDelaySec = dl
 		} else if dl > buffer {
-			res.StallSec += dl - buffer
+			stall = dl - buffer
+			res.StallSec += stall
 		}
 		buffer = math.Max(buffer-dl, 0) + chunkSec
 		if buffer > cfg.MaxBufferSec {
@@ -206,10 +233,26 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 			actual := est.ActualView(m, tr, k)
 			delivered = player.FramePSPNR(m, k, alloc, actual, cfg.Profile)
 		}
+		estimated := player.FramePSPNR(m, k, alloc, guess, cfg.Profile)
 		res.PerChunkPSPNR = append(res.PerChunkPSPNR, delivered)
-		res.PerChunkEstPSPNR = append(res.PerChunkEstPSPNR,
-			player.FramePSPNR(m, k, alloc, guess, cfg.Profile))
+		res.PerChunkEstPSPNR = append(res.PerChunkEstPSPNR, estimated)
 		res.PerChunkAlloc = append(res.PerChunkAlloc, alloc)
+
+		chunkPSPNR.Observe(delivered)
+		chunksTotal.Inc()
+		rebufTotal.Add(stall)
+		bitsTotal.Add(bits)
+		dlSeconds.Observe(dl)
+		bufGauge.Set(buffer)
+		if cfg.Obs != nil {
+			cfg.Obs.Counter("pano_sim_level_decisions_total",
+				"chunk-level bitrate decisions by level",
+				obs.L("level", "L"+strconv.Itoa(int(prevLevel)))).Inc()
+		}
+		sess.Debug("chunk_done",
+			"chunk", k, "level", int(prevLevel), "bits", bits,
+			"download_sec", dl, "stall_sec", stall, "buffer_sec", buffer,
+			"pspnr_db", delivered, "est_pspnr_db", estimated)
 	}
 
 	dur := m.DurationSec()
@@ -220,6 +263,14 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 	res.MeanPSPNR = sum / float64(len(res.PerChunkPSPNR))
 	res.BufferingRatio = 100 * res.StallSec / (dur + res.StallSec)
 	res.BandwidthMbps = res.TotalBits / dur / 1e6
+
+	cfg.Obs.Gauge("pano_sim_session_pspnr_db", "session mean viewport PSPNR").Set(res.MeanPSPNR)
+	cfg.Obs.Gauge("pano_sim_session_mos", "Table 3 opinion-score band of the session").Set(float64(res.MOS()))
+	sess.Info("session_summary",
+		"status", "ok", "mean_pspnr_db", res.MeanPSPNR, "mos", res.MOS(),
+		"buffering_pct", res.BufferingRatio, "stall_sec", res.StallSec,
+		"bandwidth_mbps", res.BandwidthMbps, "startup_sec", res.StartupDelaySec,
+		"total_bits", res.TotalBits)
 	return res, nil
 }
 

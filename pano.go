@@ -16,9 +16,12 @@
 package pano
 
 import (
+	"io"
+
 	"pano/internal/jnd"
 	"pano/internal/manifest"
 	"pano/internal/nettrace"
+	"pano/internal/obs"
 	"pano/internal/player"
 	"pano/internal/provider"
 	"pano/internal/scene"
@@ -66,7 +69,27 @@ type (
 	StreamConfig = panoclient.StreamConfig
 	// StreamResult summarizes an HTTP streaming session.
 	StreamResult = panoclient.StreamResult
+	// Metrics is the zero-dependency observability registry; pass it
+	// via SimConfig.Obs, StreamConfig.Obs, or NewServerWith to collect
+	// QoE metrics and scrape them in Prometheus format. nil disables.
+	Metrics = obs.Registry
+	// EventLog is the structured session event logger (log/slog based,
+	// with an in-memory ring buffer for assertions).
+	EventLog = obs.EventLog
 )
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewEventLog returns an event log retaining the last ringSize events
+// (a default when <= 0) and optionally mirroring JSON lines to w.
+func NewEventLog(w io.Writer, ringSize int) *EventLog { return obs.NewEventLog(w, ringSize) }
+
+// NewServerWith is NewServer with observability attached: the server
+// exposes /metrics and records per-endpoint request metrics into reg.
+func NewServerWith(m *Manifest, reg *Metrics) (*Server, error) {
+	return server.New(m, server.WithObs(reg))
+}
 
 // Genres.
 const (
