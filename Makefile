@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmt race bench clean
+.PHONY: build test check vet fmt race race-kernels bench microbench clean
 
 build:
 	$(GO) build ./...
@@ -29,12 +29,26 @@ fmt:
 race:
 	$(GO) test -race -short ./...
 
-check: vet fmt race
+# The parallel pixel pipeline and its golden/property suite run in full
+# (no -short) under the race detector: worker pool, field cache, and
+# the serial≡parallel properties at explicit worker counts.
+race-kernels:
+	$(GO) test -race ./internal/parallel ./internal/jnd ./internal/quality ./internal/tiling
+
+check: vet fmt race race-kernels
 
 # Quick-scale paper evaluation; writes BENCH_<id>.json files.
-bench: build
+bench: build microbench
 	$(GO) run ./cmd/pano-bench -scale quick
 
+# Kernel micro-benchmarks (serial vs parallel vs cached); appends to
+# BENCH_micro.txt with the commit hash so runs diff across commits with
+# benchstat or plain text tools.
+microbench:
+	@echo "## $$(git rev-parse --short HEAD 2>/dev/null || echo dirty) $$(date -u +%Y-%m-%dT%H:%M:%SZ)" >> BENCH_micro.txt
+	$(GO) test -run XXX -bench 'ContentField|FieldCache|TilePSPNR|Plan' -benchmem \
+		./internal/jnd ./internal/quality ./internal/tiling | tee -a BENCH_micro.txt
+
 clean:
-	rm -f BENCH_*.json
+	rm -f BENCH_*.json BENCH_micro.txt
 	rm -rf fig14-out

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pano/internal/codec"
+	"pano/internal/geom"
+	"pano/internal/jnd"
+	"pano/internal/parallel"
+	"pano/internal/quality"
+	"pano/internal/scene"
+	"pano/internal/tiling"
+)
+
+// ParallelBenchResult summarizes the serial-vs-parallel speedup of the
+// pixel kernels and the content-JND field cache's effectiveness; it
+// lands in BENCH_parallel.json so the trajectory is tracked across
+// commits (and across machines with different core counts).
+type ParallelBenchResult struct {
+	Workers              int
+	ContentFieldSerialMS float64
+	ContentFieldParMS    float64
+	ContentFieldSpeedup  float64
+	PlanSerialMS         float64
+	PlanParMS            float64
+	PlanSpeedup          float64
+	CacheColdMS          float64
+	CacheWarmMS          float64
+	CacheHits            float64
+	CacheMisses          float64
+	CacheHitRate         float64
+}
+
+// benchFrameW/H size the synthetic frame the kernel measurements run
+// on — deliberately larger than QuickScale videos so per-call work
+// dominates goroutine overhead, small enough to keep the experiment
+// around a second.
+const (
+	benchFrameW = 960
+	benchFrameH = 480
+)
+
+// minDuration returns the fastest of reps runs of fn, in milliseconds.
+func minDuration(reps int, fn func()) float64 {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best) / float64(time.Millisecond)
+}
+
+// ParallelBench measures the hot offline kernels serial vs parallel —
+// ContentField over a full frame and Plan's concurrent unit-grid
+// scoring — plus a cold/warm TilePSPNR pass through the field cache.
+// Speedup tracks the core count: expect ~1x on a single-core runner
+// and ≥ 2x at 4+ cores.
+func ParallelBench(d *Dataset) (ParallelBenchResult, *Table, error) {
+	workers := parallel.Workers()
+	v := scene.Generate(scene.Sports, d.Scale.Seed+0xbe9c,
+		scene.Options{W: benchFrameW, H: benchFrameH, FPS: 10, DurationSec: 1})
+	orig := v.RenderFrame(0)
+	full := geom.Rect{X1: orig.W, Y1: orig.H}
+
+	res := ParallelBenchResult{Workers: workers}
+	const reps = 3
+
+	// Kernel 1: content-JND field over the whole frame.
+	res.ContentFieldSerialMS = minDuration(reps, func() {
+		jnd.ContentFieldWorkers(orig, full, 1)
+	})
+	res.ContentFieldParMS = minDuration(reps, func() {
+		jnd.ContentFieldWorkers(orig, full, workers)
+	})
+	res.ContentFieldSpeedup = safeRatio(res.ContentFieldSerialMS, res.ContentFieldParMS)
+
+	// Kernel 2: Plan scoring the 12x24 unit grid, each unit scored by
+	// its mean content JND (the shape of the provider's Equation 5
+	// scoring: per-unit pixel work dominates).
+	unitRects := tiling.Grid12x24.Rects(orig.W, orig.H)
+	score := func(r, c int) float64 {
+		return jnd.MeanContentJND(orig, unitRects[r*tiling.UnitCols+c])
+	}
+	planWith := func(w int) {
+		if _, err := tiling.PlanWorkers(tiling.UnitRows, tiling.UnitCols, tiling.DefaultTiles, score, w); err != nil {
+			panic(err) // inputs are constants; cannot fail
+		}
+	}
+	res.PlanSerialMS = minDuration(reps, func() { planWith(1) })
+	res.PlanParMS = minDuration(reps, func() { planWith(workers) })
+	res.PlanSpeedup = safeRatio(res.PlanSerialMS, res.PlanParMS)
+
+	// Cache: two TilePSPNR adaptation passes over every unit tile of
+	// the frame; the second pass should be all hits.
+	enc, err := codec.NewEncoder().DistortRegion(orig, full, codec.Level(2).QP())
+	if err != nil {
+		return res, nil, err
+	}
+	cache := jnd.NewFieldCache(2*len(unitRects), nil)
+	prof := jnd.Default()
+	pass := func() error {
+		for _, r := range unitRects {
+			encTile, err := enc.Region(r)
+			if err != nil {
+				return err
+			}
+			if _, err := quality.TilePSPNRCached(prof, cache, "bench/f0", orig, encTile, r, jnd.Factors{SpeedDegS: 10}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	coldStart := time.Now()
+	if err := pass(); err != nil {
+		return res, nil, err
+	}
+	res.CacheColdMS = float64(time.Since(coldStart)) / float64(time.Millisecond)
+	warmStart := time.Now()
+	if err := pass(); err != nil {
+		return res, nil, err
+	}
+	res.CacheWarmMS = float64(time.Since(warmStart)) / float64(time.Millisecond)
+	res.CacheHits, res.CacheMisses = cache.Stats()
+	if total := res.CacheHits + res.CacheMisses; total > 0 {
+		res.CacheHitRate = res.CacheHits / total
+	}
+
+	t := &Table{
+		Title:  fmt.Sprintf("Parallel kernels & field cache (%d workers, %dx%d frame)", workers, benchFrameW, benchFrameH),
+		Header: []string{"item", "baseline_ms", "optimized_ms", "speedup_x", "detail"},
+		Rows: [][]string{
+			{"ContentField", f2(res.ContentFieldSerialMS), f2(res.ContentFieldParMS),
+				f2(res.ContentFieldSpeedup), fmt.Sprintf("workers=%d", workers)},
+			{"Plan(12x24)", f2(res.PlanSerialMS), f2(res.PlanParMS),
+				f2(res.PlanSpeedup), fmt.Sprintf("workers=%d", workers)},
+			{"TilePSPNR+cache", f2(res.CacheColdMS), f2(res.CacheWarmMS),
+				f2(safeRatio(res.CacheColdMS, res.CacheWarmMS)),
+				fmt.Sprintf("hit_rate=%.1f%% (%0.f hits/%0.f misses)",
+					100*res.CacheHitRate, res.CacheHits, res.CacheMisses)},
+		},
+	}
+	return res, t, nil
+}
+
+func safeRatio(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}

@@ -40,6 +40,7 @@ var registry = map[string]Runner{
 	// Extensions beyond the paper (see EXPERIMENTS.md).
 	"joint3":    tableOnly3(Joint3),
 	"crossuser": tableOnly3(CrossUserPrediction),
+	"parallel":  tableOnly3(ParallelBench),
 	"tab2": func(d *Dataset) (*Table, error) {
 		return Table2(d), nil
 	},

@@ -1,0 +1,56 @@
+package geom
+
+import "testing"
+
+// FuzzRectIntersect pins the Rect clipping algebra for arbitrary —
+// including inverted and far-out-of-range — rectangles: Intersect
+// never panics, is commutative and idempotent, returns either the
+// canonical empty Rect or a rectangle contained in both operands, and
+// OverlapArea agrees with it.
+func FuzzRectIntersect(f *testing.F) {
+	f.Add(0, 0, 10, 10, 5, 5, 20, 20)
+	f.Add(0, 0, 10, 10, 10, 10, 20, 20) // touching corner → empty
+	f.Add(3, 4, 3, 9, 0, 0, 8, 8)       // zero-width operand
+	f.Add(-5, -5, 5, 5, -1, -1, 1, 1)   // negative coords, containment
+	f.Add(7, 2, 1, 9, 0, 0, 4, 4)       // inverted operand
+	f.Add(-1000000, -1000000, 1000000, 1000000, -3, 7, 9, 8)
+	f.Fuzz(func(t *testing.T, ax0, ay0, ax1, ay1, bx0, by0, bx1, by1 int) {
+		a := Rect{X0: ax0, Y0: ay0, X1: ax1, Y1: ay1}
+		b := Rect{X0: bx0, Y0: by0, X1: bx1, Y1: by1}
+
+		got := a.Intersect(b)
+		if sym := b.Intersect(a); got != sym {
+			t.Fatalf("Intersect not commutative: %v vs %v", got, sym)
+		}
+		if got.Empty() {
+			if got != (Rect{}) {
+				t.Fatalf("empty intersection not canonical: %v", got)
+			}
+		} else {
+			contained := func(in, out Rect) bool {
+				return in.X0 >= out.X0 && in.X1 <= out.X1 && in.Y0 >= out.Y0 && in.Y1 <= out.Y1
+			}
+			if !contained(got, a) || !contained(got, b) {
+				t.Fatalf("intersection %v escapes %v ∩ %v", got, a, b)
+			}
+			if again := got.Intersect(got); again != got {
+				t.Fatalf("Intersect not idempotent: %v → %v", got, again)
+			}
+			// Every corner pixel of the intersection is in both rects.
+			for _, p := range [][2]int{
+				{got.X0, got.Y0}, {got.X1 - 1, got.Y0},
+				{got.X0, got.Y1 - 1}, {got.X1 - 1, got.Y1 - 1},
+			} {
+				if !a.Contains(p[0], p[1]) || !b.Contains(p[0], p[1]) {
+					t.Fatalf("corner (%d,%d) of %v outside an operand", p[0], p[1], got)
+				}
+			}
+		}
+		if oa := a.OverlapArea(b); oa != got.Area() {
+			t.Fatalf("OverlapArea %d != Intersect area %d", oa, got.Area())
+		}
+		if got.Area() < 0 {
+			t.Fatalf("negative intersection area for %v ∩ %v", a, b)
+		}
+	})
+}

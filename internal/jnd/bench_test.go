@@ -1,0 +1,38 @@
+package jnd
+
+import (
+	"testing"
+
+	"pano/internal/geom"
+	"pano/internal/mathx"
+	"pano/internal/parallel"
+)
+
+// Benchmark frame matches the pano-bench "parallel" experiment so `make
+// bench` numbers and BENCH_parallel.json are directly comparable.
+const benchW, benchH = 960, 480
+
+func runContentFieldBench(b *testing.B, workers int) {
+	f := randomFrame(mathx.NewRNG(0xBE9C), benchW, benchH)
+	r := geom.Rect{X1: benchW, Y1: benchH}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ContentFieldWorkers(f, r, workers)
+	}
+}
+
+func BenchmarkContentFieldSerial(b *testing.B)   { runContentFieldBench(b, 1) }
+func BenchmarkContentFieldParallel(b *testing.B) { runContentFieldBench(b, parallel.Workers()) }
+
+func BenchmarkFieldCacheHit(b *testing.B) {
+	f := randomFrame(mathx.NewRNG(0xBE9C), benchW, benchH)
+	r := geom.Rect{X1: benchW, Y1: benchH}
+	c := NewFieldCache(4, nil)
+	c.ContentField("k", f, r) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ContentField("k", f, r)
+	}
+}

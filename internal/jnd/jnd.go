@@ -26,6 +26,7 @@ import (
 	"pano/internal/frame"
 	"pano/internal/geom"
 	"pano/internal/mathx"
+	"pano/internal/parallel"
 )
 
 // Factors bundles the three viewpoint-driven quantities for one tile at
@@ -176,11 +177,25 @@ const FieldBlockSize = 8
 // ContentField computes the content-dependent JND over rectangle r of
 // the original frame, at FieldBlockSize granularity. The returned field
 // has one value per pixel of r (block values replicated), laid out
-// row-major with width r.W().
+// row-major with width r.W(). Block rows are computed in parallel on
+// the process-default worker count; the result is bit-identical for
+// every worker count because each block writes only its own pixels.
 func ContentField(orig *frame.Frame, r geom.Rect) []float64 {
+	return ContentFieldWorkers(orig, r, parallel.Workers())
+}
+
+// ContentFieldWorkers is ContentField with an explicit worker count
+// (<= 1 runs serially). The serial≡parallel property tests inject
+// counts here.
+func ContentFieldWorkers(orig *frame.Frame, r geom.Rect, workers int) []float64 {
 	w, h := r.W(), r.H()
+	if w <= 0 || h <= 0 {
+		return nil
+	}
 	out := make([]float64, w*h)
-	for by := 0; by < h; by += FieldBlockSize {
+	blockRows := (h + FieldBlockSize - 1) / FieldBlockSize
+	parallel.ForWorkers(workers, blockRows, func(br int) {
+		by := br * FieldBlockSize
 		for bx := 0; bx < w; bx += FieldBlockSize {
 			block := geom.Rect{
 				X0: r.X0 + bx, Y0: r.Y0 + by,
@@ -194,7 +209,7 @@ func ContentField(orig *frame.Frame, r geom.Rect) []float64 {
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 

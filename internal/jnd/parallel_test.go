@@ -1,0 +1,218 @@
+package jnd
+
+import (
+	"testing"
+
+	"pano/internal/frame"
+	"pano/internal/geom"
+	"pano/internal/mathx"
+	"pano/internal/obs"
+)
+
+// workerCounts are the counts the serial≡parallel properties run at:
+// serial, a small pool, and more workers than most CI machines have
+// cores (so the chunked scheduler's remainder handling is exercised).
+var workerCounts = []int{1, 2, 8}
+
+func randomFrame(rng *mathx.RNG, w, h int) *frame.Frame {
+	f := frame.New(w, h)
+	for i := range f.Pix {
+		f.Pix[i] = uint8(rng.Intn(256))
+	}
+	return f
+}
+
+// randomRect returns a random sub-rectangle of a w×h frame, sometimes
+// degenerate (empty or a single pixel).
+func randomRect(rng *mathx.RNG, w, h int) geom.Rect {
+	switch rng.Intn(8) {
+	case 0:
+		return geom.Rect{} // empty
+	case 1:
+		x, y := rng.Intn(w), rng.Intn(h)
+		return geom.Rect{X0: x, Y0: y, X1: x + 1, Y1: y + 1} // 1 pixel
+	}
+	x0, y0 := rng.Intn(w), rng.Intn(h)
+	x1 := x0 + 1 + rng.Intn(w-x0)
+	y1 := y0 + 1 + rng.Intn(h-y0)
+	return geom.Rect{X0: x0, Y0: y0, X1: x1, Y1: y1}
+}
+
+func TestContentFieldSerialEqualsParallel(t *testing.T) {
+	rng := mathx.NewRNG(0xC0FFEE)
+	for trial := 0; trial < 25; trial++ {
+		w := 1 + rng.Intn(150)
+		h := 1 + rng.Intn(90)
+		f := randomFrame(rng, w, h)
+		r := randomRect(rng, w, h)
+		ref := ContentFieldWorkers(f, r, 1)
+		for _, workers := range workerCounts[1:] {
+			got := ContentFieldWorkers(f, r, workers)
+			if len(got) != len(ref) {
+				t.Fatalf("trial %d rect %v workers %d: len %d, want %d", trial, r, workers, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("trial %d rect %v workers %d: field[%d] = %v, want %v (bit-exact)",
+						trial, r, workers, i, got[i], ref[i])
+				}
+			}
+		}
+		// The default entry point must agree with the explicit form.
+		def := ContentField(f, r)
+		for i := range ref {
+			if def[i] != ref[i] {
+				t.Fatalf("trial %d: ContentField diverges from ContentFieldWorkers at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestContentFieldDegenerateRects(t *testing.T) {
+	f := randomFrame(mathx.NewRNG(7), 32, 32)
+	if got := ContentFieldWorkers(f, geom.Rect{}, 8); len(got) != 0 {
+		t.Fatalf("empty rect: len %d, want 0", len(got))
+	}
+	if got := ContentFieldWorkers(f, geom.Rect{X0: 5, Y0: 5, X1: 4, Y1: 9}, 8); len(got) != 0 {
+		t.Fatalf("inverted rect: len %d, want 0", len(got))
+	}
+	one := ContentFieldWorkers(f, geom.Rect{X0: 3, Y0: 4, X1: 4, Y1: 5}, 8)
+	if len(one) != 1 {
+		t.Fatalf("1-pixel rect: len %d, want 1", len(one))
+	}
+	want := ContentJNDBlock(f.MeanLuma(geom.Rect{X0: 3, Y0: 4, X1: 4, Y1: 5}),
+		f.GradientEnergy(geom.Rect{X0: 3, Y0: 4, X1: 4, Y1: 5}))
+	if one[0] != want {
+		t.Fatalf("1-pixel field = %v, want %v", one[0], want)
+	}
+}
+
+func TestFieldCacheHitReturnsSameSlice(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewFieldCache(4, reg)
+	f := randomFrame(mathx.NewRNG(11), 40, 24)
+	r := geom.Rect{X0: 8, Y0: 0, X1: 24, Y1: 16}
+
+	first := c.ContentField("chunk0", f, r)
+	second := c.ContentField("chunk0", f, r)
+	if &first[0] != &second[0] {
+		t.Error("cache hit returned a different slice")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = (%v hits, %v misses), want (1, 1)", hits, misses)
+	}
+	if got := reg.CounterValue("pano_jnd_field_cache_hits_total"); got != 1 {
+		t.Errorf("hits counter = %v, want 1", got)
+	}
+	if got := reg.CounterValue("pano_jnd_field_cache_misses_total"); got != 1 {
+		t.Errorf("misses counter = %v, want 1", got)
+	}
+
+	// A different chunk key or rect misses even with identical pixels.
+	c.ContentField("chunk1", f, r)
+	c.ContentField("chunk0", f, geom.Rect{X0: 0, Y0: 0, X1: 8, Y1: 8})
+	if hits, misses := c.Stats(); hits != 1 || misses != 3 {
+		t.Errorf("stats after distinct keys = (%v, %v), want (1, 3)", hits, misses)
+	}
+
+	// Matches the serial kernel bit-for-bit.
+	ref := ContentFieldWorkers(f, r, 1)
+	for i := range ref {
+		if first[i] != ref[i] {
+			t.Fatalf("cached field diverges at %d", i)
+		}
+	}
+}
+
+func TestFieldCacheEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewFieldCache(2, reg)
+	f := randomFrame(mathx.NewRNG(13), 64, 16)
+	r := func(i int) geom.Rect { return geom.Rect{X0: i * 8, X1: i*8 + 8, Y0: 0, Y1: 8} }
+
+	c.ContentField("k", f, r(0))
+	c.ContentField("k", f, r(1))
+	c.ContentField("k", f, r(0)) // refresh 0 → 1 is now LRU
+	c.ContentField("k", f, r(2)) // evicts 1
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if got := reg.CounterValue("pano_jnd_field_cache_evictions_total"); got != 1 {
+		t.Errorf("evictions = %v, want 1", got)
+	}
+	c.ContentField("k", f, r(0)) // still cached
+	c.ContentField("k", f, r(1)) // evicted → miss
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 4 {
+		t.Errorf("stats = (%v, %v), want (2, 4)", hits, misses)
+	}
+	if got := reg.GaugeValue("pano_jnd_field_cache_entries"); got != 2 {
+		t.Errorf("entries gauge = %v, want 2", got)
+	}
+}
+
+func TestFieldCacheNilSafe(t *testing.T) {
+	var c *FieldCache
+	f := randomFrame(mathx.NewRNG(17), 16, 16)
+	r := geom.Rect{X1: 16, Y1: 16}
+	got := c.ContentField("x", f, r)
+	ref := ContentFieldWorkers(f, r, 1)
+	if len(got) != len(ref) {
+		t.Fatalf("nil cache len %d, want %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("nil cache diverges at %d", i)
+		}
+	}
+	if c.Len() != 0 {
+		t.Error("nil cache Len != 0")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Error("nil cache stats non-zero")
+	}
+}
+
+func TestFieldCacheConcurrent(t *testing.T) {
+	// Hammer one cache from many goroutines; -race validates the
+	// locking, and every result must be bit-identical to the serial
+	// kernel.
+	c := NewFieldCache(8, nil)
+	f := randomFrame(mathx.NewRNG(23), 80, 40)
+	rects := []geom.Rect{
+		{X1: 80, Y1: 40},
+		{X0: 8, Y0: 8, X1: 40, Y1: 24},
+		{X0: 72, Y0: 32, X1: 73, Y1: 33},
+	}
+	refs := make([][]float64, len(rects))
+	for i, r := range rects {
+		refs[i] = ContentFieldWorkers(f, r, 1)
+	}
+	done := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		go func(g int) {
+			for iter := 0; iter < 50; iter++ {
+				i := (g + iter) % len(rects)
+				got := c.ContentField("c", f, rects[i])
+				for j := range refs[i] {
+					if got[j] != refs[i][j] {
+						done <- errDiverged
+						return
+					}
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 16; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errDiverged = errTest("concurrent cache result diverged from serial kernel")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

@@ -1,0 +1,154 @@
+// Package parallel provides the small bounded worker pool that the
+// pixel-level kernels (content-JND fields, PSPNR reductions, tile
+// scoring, the provider's offline table build) run on. It is
+// stdlib-only and deliberately tiny: a chunked For over an index range.
+//
+// Determinism contract: For(n, fn) calls fn exactly once for every
+// index in [0, n), in unspecified order, from at most Workers()
+// goroutines. Kernels built on it stay bit-identical to their serial
+// form as long as each index writes only its own output slots (or
+// partial sums are reduced in index order afterwards) — the property
+// the serial≡parallel tests in internal/jnd, internal/quality and
+// internal/tiling pin down.
+//
+// The default worker count tracks GOMAXPROCS; SetWorkers overrides it
+// process-wide (tests inject explicit counts per call instead, via
+// ForWorkers).
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the process-wide override; 0 means "track
+// GOMAXPROCS".
+var defaultWorkers atomic.Int64
+
+// Workers returns the worker count For uses: the SetWorkers override
+// when set, otherwise GOMAXPROCS.
+func Workers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the process-wide default worker count and
+// returns the previous effective value. n <= 0 removes the override,
+// reverting to GOMAXPROCS.
+func SetWorkers(n int) int {
+	prev := Workers()
+	if n <= 0 {
+		defaultWorkers.Store(0)
+	} else {
+		defaultWorkers.Store(int64(n))
+	}
+	return prev
+}
+
+// For runs fn(i) for every i in [0, n) on the default worker count.
+func For(n int, fn func(i int)) {
+	ForWorkers(Workers(), n, fn)
+}
+
+// ForWorkers runs fn(i) for every i in [0, n) on at most workers
+// goroutines (the calling goroutine counts as one). workers <= 1 or
+// n <= 1 degenerates to a plain serial loop. A panic in fn is
+// re-raised on the calling goroutine after all workers have stopped.
+func ForWorkers(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	// Chunked dynamic scheduling: workers grab grain-sized index runs
+	// from a shared cursor, balancing uneven per-index cost without a
+	// per-index atomic.
+	grain := n / (workers * 4)
+	if grain < 1 {
+		grain = 1
+	}
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		panicO sync.Once
+		panicV any
+	)
+	body := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicO.Do(func() { panicV = fmt.Errorf("parallel: worker panic: %v", r) })
+			}
+			wg.Done()
+		}()
+		for {
+			lo := int(cursor.Add(int64(grain))) - grain
+			if lo >= n {
+				return
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 1; w < workers; w++ {
+		go body()
+	}
+	body() // the caller participates
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}
+
+// ForBands splits [0, n) into contiguous bands of the given size and
+// runs fn(band, lo, hi) for each, in parallel on the given worker
+// count. Band boundaries depend only on n and band — never on the
+// worker count — so reductions that accumulate one partial result per
+// band and combine them in band order are bit-identical for every
+// worker count, including 1. band <= 0 is treated as 1.
+func ForBands(workers, n, band int, fn func(band, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if band <= 0 {
+		band = 1
+	}
+	nb := (n + band - 1) / band
+	ForWorkers(workers, nb, func(b int) {
+		lo := b * band
+		hi := lo + band
+		if hi > n {
+			hi = n
+		}
+		fn(b, lo, hi)
+	})
+}
+
+// NumBands returns how many bands ForBands(_, n, band, _) produces,
+// so callers can size their partial-result slices.
+func NumBands(n, band int) int {
+	if n <= 0 {
+		return 0
+	}
+	if band <= 0 {
+		band = 1
+	}
+	return (n + band - 1) / band
+}

@@ -1,0 +1,115 @@
+package parallel
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForWorkersCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			hits := make([]atomic.Int64, n)
+			ForWorkers(workers, n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForUsesDefaultWorkers(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	var count atomic.Int64
+	For(50, func(i int) { count.Add(1) })
+	if count.Load() != 50 {
+		t.Fatalf("For visited %d of 50 indices", count.Load())
+	}
+}
+
+func TestSetWorkersResetTracksGOMAXPROCS(t *testing.T) {
+	prev := SetWorkers(5)
+	SetWorkers(0) // reset
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() = %d after reset, want GOMAXPROCS %d", got, want)
+	}
+	SetWorkers(prev)
+}
+
+func TestForWorkersPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic in fn did not propagate")
+		}
+		if err, ok := r.(error); !ok || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("recovered %v, want wrapped worker panic", r)
+		}
+	}()
+	ForWorkers(4, 100, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForBandsDeterministicBoundaries(t *testing.T) {
+	// Band boundaries must depend only on (n, band), never on workers.
+	type span struct{ lo, hi int }
+	collect := func(workers int) []span {
+		out := make([]span, NumBands(103, 10))
+		ForBands(workers, 103, 10, func(b, lo, hi int) { out[b] = span{lo, hi} })
+		return out
+	}
+	ref := collect(1)
+	for _, workers := range []int{2, 8} {
+		got := collect(workers)
+		for b := range ref {
+			if got[b] != ref[b] {
+				t.Fatalf("workers=%d band %d = %+v, want %+v", workers, b, got[b], ref[b])
+			}
+		}
+	}
+	// Bands tile [0, n) exactly.
+	covered := make([]int, 103)
+	ForBands(4, 103, 10, func(b, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			covered[i]++
+		}
+	})
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestNumBands(t *testing.T) {
+	cases := []struct{ n, band, want int }{
+		{0, 10, 0}, {-3, 10, 0}, {1, 10, 1}, {10, 10, 1},
+		{11, 10, 2}, {103, 10, 11}, {5, 0, 5}, {5, -1, 5},
+	}
+	for _, c := range cases {
+		if got := NumBands(c.n, c.band); got != c.want {
+			t.Errorf("NumBands(%d, %d) = %d, want %d", c.n, c.band, got, c.want)
+		}
+	}
+}
+
+func TestForBandsZeroAndNegativeN(t *testing.T) {
+	called := false
+	ForBands(4, 0, 8, func(b, lo, hi int) { called = true })
+	ForBands(4, -5, 8, func(b, lo, hi int) { called = true })
+	ForWorkers(4, 0, func(int) { called = true })
+	ForWorkers(4, -1, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}

@@ -18,15 +18,14 @@ package provider
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"pano/internal/codec"
 	"pano/internal/frame"
 	"pano/internal/geom"
 	"pano/internal/jnd"
 	"pano/internal/manifest"
+	"pano/internal/parallel"
 	"pano/internal/quality"
 	"pano/internal/scene"
 	"pano/internal/tiling"
@@ -148,41 +147,26 @@ func Preprocess(v *scene.Video, history []*viewport.Trace, cfg Config) (*manifes
 	}
 	p := &preprocessor{cfg: cfg, video: v, history: history}
 
-	// Chunks are independent; preprocess them in parallel, bounded by
-	// the CPU count (each worker renders, distorts, and analyzes its
-	// own frames — there is no shared mutable state).
+	// Chunks are independent; preprocess them in parallel (each worker
+	// renders, distorts, and analyzes its own frames — there is no
+	// shared mutable state). The per-chunk kernels fan out further
+	// (frames, unit-tile scoring, per-(tile, level) table build), all
+	// bounded by the same process-wide worker count.
 	out.Chunks = make([]manifest.Chunk, numChunks)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > numChunks {
-		workers = numChunks
-	}
 	var (
-		wg       sync.WaitGroup
-		next     int64 = -1
 		firstErr error
 		errOnce  sync.Once
 	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				k := int(atomic.AddInt64(&next, 1))
-				if k >= numChunks {
-					return
-				}
-				ch, err := p.chunk(k)
-				if err != nil {
-					errOnce.Do(func() {
-						firstErr = fmt.Errorf("provider: chunk %d: %w", k, err)
-					})
-					return
-				}
-				out.Chunks[k] = ch
-			}
-		}()
-	}
-	wg.Wait()
+	parallel.For(numChunks, func(k int) {
+		ch, err := p.chunk(k)
+		if err != nil {
+			errOnce.Do(func() {
+				firstErr = fmt.Errorf("provider: chunk %d: %w", k, err)
+			})
+			return
+		}
+		out.Chunks[k] = ch
+	})
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -265,7 +249,8 @@ func (p *preprocessor) chunkFactors(k int, rects []geom.Rect) []float64 {
 		}
 		return out
 	}
-	for i, r := range rects {
+	parallel.For(len(rects), func(i int) {
+		r := rects[i]
 		objSpeed, tileDoF := p.tileMotionDepth(r, tMid)
 		var sumA float64
 		for _, tr := range p.history {
@@ -281,7 +266,7 @@ func (p *preprocessor) chunkFactors(k int, rects []geom.Rect) []float64 {
 			})
 		}
 		out[i] = sumA / float64(len(p.history))
-	}
+	})
 	return out
 }
 
@@ -313,57 +298,67 @@ func (p *preprocessor) chunk(k int) (manifest.Chunk, error) {
 	framesPerChunk := int(p.cfg.ChunkSec * float64(p.video.FPS))
 	first := k * framesPerChunk
 
-	// Sampled frames for quality estimation (1 in FrameStride).
-	var samples []*sampledFrame
+	// Sampled frames for quality estimation (1 in FrameStride), analyzed
+	// in parallel: rendering plus per-level distortion dominate.
+	var sampleIdx []int
 	for f := first; f < first+framesPerChunk; f += p.cfg.FrameStride {
-		sf, err := p.analyzeFrame(f)
+		sampleIdx = append(sampleIdx, f)
+	}
+	samples := make([]*sampledFrame, len(sampleIdx))
+	var (
+		sampleErr  error
+		sampleOnce sync.Once
+	)
+	parallel.For(len(sampleIdx), func(i int) {
+		sf, err := p.analyzeFrame(sampleIdx[i])
 		if err != nil {
-			return manifest.Chunk{}, err
+			sampleOnce.Do(func() { sampleErr = err })
+			return
 		}
-		samples = append(samples, sf)
+		samples[i] = sf
+	})
+	if sampleErr != nil {
+		return manifest.Chunk{}, sampleErr
 	}
 	// A mid-chunk frame for temporal activity.
 	next := p.video.RenderFrame(first + framesPerChunk/2)
 	key := samples[0].orig
 
-	// Step 1-2: unit-tile efficiency scores.
+	// Steps 1-3: score the unit grid concurrently and choose the layout.
+	// Scoring is lazy per mode: only the matrix the mode's clustering
+	// consumes is computed.
 	unitGrid := tiling.Grid12x24
 	unitRects := unitGrid.Rects(p.video.W, p.video.H)
-	ratios := p.chunkFactors(k, unitRects)
-	scores := make([][]float64, tiling.UnitRows)
-	bitScores := make([][]float64, tiling.UnitRows)
-	for r := range scores {
-		scores[r] = make([]float64, tiling.UnitCols)
-		bitScores[r] = make([]float64, tiling.UnitCols)
-	}
-	for i, ur := range unitRects {
-		row, col := i/tiling.UnitCols, i%tiling.UnitCols
-		// PSPNR at the highest and lowest levels averaged over sampled
-		// frames, with JND scaled by the history-average action ratio.
-		var hi, lo float64
-		for _, sf := range samples {
-			hiP := pmseAtAnchors(sf, 0, ur, []float64{ratios[i]})[0]
-			loP := pmseAtAnchors(sf, codec.NumLevels-1, ur, []float64{ratios[i]})[0]
-			hi += hiP
-			lo += loP
-		}
-		n := float64(len(samples))
-		pHi := quality.PSPNRFromPMSE(hi / n)
-		pLo := quality.PSPNRFromPMSE(lo / n)
-		scores[row][col] = (pHi - pLo) / float64(codec.NumLevels-1) // Equation 5
-		bitScores[row][col] = p.cfg.Encoder.FrameRegionBits(key, ur, codec.Level(2).QP())
-	}
-
-	// Step 3: choose the layout.
 	var layout tiling.Layout
 	var err error
 	switch p.cfg.Mode {
 	case ModePano:
-		layout, err = tiling.VariableTiling(scores, p.cfg.Tiles)
+		ratios := p.chunkFactors(k, unitRects)
+		layout, err = tiling.Plan(tiling.UnitRows, tiling.UnitCols, p.cfg.Tiles,
+			func(row, col int) float64 {
+				// PSPNR at the highest and lowest levels averaged over
+				// sampled frames, with JND scaled by the history-average
+				// action ratio.
+				i := row*tiling.UnitCols + col
+				ur := unitRects[i]
+				var hi, lo float64
+				for _, sf := range samples {
+					hi += pmseAtAnchors(sf, 0, ur, []float64{ratios[i]})[0]
+					lo += pmseAtAnchors(sf, codec.NumLevels-1, ur, []float64{ratios[i]})[0]
+				}
+				n := float64(len(samples))
+				pHi := quality.PSPNRFromPMSE(hi / n)
+				pLo := quality.PSPNRFromPMSE(lo / n)
+				return (pHi - pLo) / float64(codec.NumLevels-1) // Equation 5
+			})
 	case ModeUniform:
 		layout, err = tiling.UniformLayout(p.cfg.Grid)
 	case ModeClusTile:
-		layout, err = tiling.VariableTiling(bitScores, p.cfg.Tiles)
+		layout, err = tiling.Plan(tiling.UnitRows, tiling.UnitCols, p.cfg.Tiles,
+			func(row, col int) float64 {
+				ur := unitRects[row*tiling.UnitCols+col]
+				return p.cfg.Encoder.FrameRegionBits(key, ur, codec.Level(2).QP())
+			})
 	case ModeWhole:
 		layout = tiling.Layout{Rows: tiling.UnitRows, Cols: tiling.UnitCols,
 			Tiles: []tiling.UnitRect{{R0: 0, C0: 0, R1: tiling.UnitRows, C1: tiling.UnitCols}}}
@@ -374,39 +369,61 @@ func (p *preprocessor) chunk(k int) (manifest.Chunk, error) {
 		return manifest.Chunk{}, err
 	}
 
-	// Step 4: per-tile metadata, sizes and PSPNR LUT.
+	// Step 4: per-tile metadata, sizes and PSPNR LUT. The raw per-level
+	// quantities fan out per (tile, quality-level); the cross-level
+	// monotonicity clamps and the LUT fit run in a serial pass per tile
+	// afterwards, because level l reads the clamped level l-1.
 	ch := manifest.Chunk{Index: k}
 	tMid := (float64(k) + 0.5) * p.cfg.ChunkSec
-	for _, ut := range layout.Tiles {
-		r := ut.Pixels(p.video.W, p.video.H, layout.Rows, layout.Cols)
+	nTiles := len(layout.Tiles)
+	tiles := make([]manifest.Tile, nTiles)
+	parallel.For(nTiles, func(i int) {
+		r := layout.Tiles[i].Pixels(p.video.W, p.video.H, layout.Rows, layout.Cols)
 		t := manifest.Tile{Rect: r}
 		t.AvgLuma = key.MeanLuma(r)
-		objSpeed, depth := p.tileMotionDepth(r, tMid)
-		t.ObjSpeedDeg = objSpeed
-		t.AvgDoF = depth
+		t.ObjSpeedDeg, t.AvgDoF = p.tileMotionDepth(r, tMid)
+		tiles[i] = t
+	})
+	type levelData struct {
+		bits float64   // encoded tile-chunk size
+		mse  float64   // plain MSE (A=0 anchor), mean over samples
+		pmse []float64 // PMSE per anchor ratio, mean over samples
+	}
+	levels := make([]levelData, nTiles*codec.NumLevels)
+	parallel.For(len(levels), func(j int) {
+		i, l := j/codec.NumLevels, j%codec.NumLevels
+		r := tiles[i].Rect
+		ld := &levels[j]
+		ld.bits = p.cfg.Encoder.TileChunkBits(key, next, r, codec.Level(l).QP(), framesPerChunk)
+		// Plain MSE (the A=0 anchor degenerates to unfiltered error)
+		// feeds the JND-agnostic PSNR used by the baselines.
+		var mse float64
+		acc := make([]float64, len(manifest.AnchorRatios))
+		for _, sf := range samples {
+			mse += pmseAtAnchors(sf, l, r, []float64{0})[0]
+			for ai, v := range pmseAtAnchors(sf, l, r, manifest.AnchorRatios) {
+				acc[ai] += v
+			}
+		}
+		ld.mse = mse / float64(len(samples))
+		for ai := range acc {
+			acc[ai] /= float64(len(samples))
+		}
+		ld.pmse = acc
+	})
+	for i := range tiles {
+		t := tiles[i]
 		var pspnrs [codec.NumLevels][]float64
 		for l := 0; l < codec.NumLevels; l++ {
-			t.Bits[l] = p.cfg.Encoder.TileChunkBits(key, next, r, codec.Level(l).QP(), framesPerChunk)
-			// Plain MSE (the A=0 anchor degenerates to unfiltered error)
-			// feeds the JND-agnostic PSNR used by the baselines.
-			var mse float64
-			for _, sf := range samples {
-				mse += pmseAtAnchors(sf, l, r, []float64{0})[0]
-			}
-			t.PSNR[l] = quality.PSNR(mse / float64(len(samples)))
+			ld := levels[i*codec.NumLevels+l]
+			t.Bits[l] = ld.bits
+			t.PSNR[l] = quality.PSNR(ld.mse)
 			if l > 0 && t.PSNR[l] > t.PSNR[l-1] {
 				t.PSNR[l] = t.PSNR[l-1]
 			}
-			// PMSE at every anchor ratio, averaged over sampled frames.
-			acc := make([]float64, len(manifest.AnchorRatios))
-			for _, sf := range samples {
-				for ai, v := range pmseAtAnchors(sf, l, r, manifest.AnchorRatios) {
-					acc[ai] += v
-				}
-			}
-			pspnrs[l] = make([]float64, len(acc))
-			for ai := range acc {
-				pspnrs[l][ai] = quality.PSPNRFromPMSE(acc[ai] / float64(len(samples)))
+			pspnrs[l] = make([]float64, len(ld.pmse))
+			for ai, v := range ld.pmse {
+				pspnrs[l][ai] = quality.PSPNRFromPMSE(v)
 			}
 			// Enforce monotonicity across levels: a coarser quantizer
 			// occasionally rounds marginally better in a tile, but the

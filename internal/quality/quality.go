@@ -11,6 +11,7 @@ import (
 	"pano/internal/frame"
 	"pano/internal/geom"
 	"pano/internal/jnd"
+	"pano/internal/parallel"
 )
 
 // PSPNRCap bounds reported PSPNR; with zero perceptible noise the metric
@@ -31,23 +32,48 @@ func PSNR(mse float64) float64 {
 // per Equation 1: P = 20·log10(255/sqrt(M)).
 func PSPNRFromPMSE(pmse float64) float64 { return PSNR(pmse) }
 
+// pmseBandRows is the fixed row-band granularity of the parallel PMSE
+// reduction. Band boundaries depend only on the frame height, so the
+// banded sum is bit-identical for every worker count (the partial sums
+// are combined in band order).
+const pmseBandRows = 32
+
 // PMSE computes the perceptible mean squared error of Equations 2–3 over
 // matching frames, given a per-pixel JND field (row-major, same size):
-// only error beyond the JND counts, and it counts by its excess.
+// only error beyond the JND counts, and it counts by its excess. Row
+// bands reduce in parallel on the process-default worker count.
 func PMSE(orig, enc *frame.Frame, jndField []float64) (float64, error) {
+	return PMSEWorkers(orig, enc, jndField, parallel.Workers())
+}
+
+// PMSEWorkers is PMSE with an explicit worker count (<= 1 runs
+// serially). Results are bit-identical across worker counts.
+func PMSEWorkers(orig, enc *frame.Frame, jndField []float64, workers int) (float64, error) {
 	if orig.W != enc.W || orig.H != enc.H {
 		return 0, fmt.Errorf("quality: frame size mismatch %dx%d vs %dx%d", orig.W, orig.H, enc.W, enc.H)
 	}
 	if len(jndField) != len(orig.Pix) {
 		return 0, fmt.Errorf("quality: jnd field len %d, want %d", len(jndField), len(orig.Pix))
 	}
-	var sum float64
-	for i := range orig.Pix {
-		diff := math.Abs(float64(orig.Pix[i]) - float64(enc.Pix[i]))
-		if diff >= jndField[i] && diff > 0 {
-			ex := diff - jndField[i]
-			sum += ex * ex
+	if len(orig.Pix) == 0 {
+		return 0, nil
+	}
+	w := orig.W
+	sums := make([]float64, parallel.NumBands(orig.H, pmseBandRows))
+	parallel.ForBands(workers, orig.H, pmseBandRows, func(b, y0, y1 int) {
+		var s float64
+		for i := y0 * w; i < y1*w; i++ {
+			diff := math.Abs(float64(orig.Pix[i]) - float64(enc.Pix[i]))
+			if diff >= jndField[i] && diff > 0 {
+				ex := diff - jndField[i]
+				s += ex * ex
+			}
 		}
+		sums[b] = s
+	})
+	var sum float64
+	for _, s := range sums {
+		sum += s
 	}
 	return sum / float64(len(orig.Pix)), nil
 }
@@ -78,17 +104,18 @@ func ScaleField(field []float64, k float64) []float64 {
 // content JND from orig scaled by the action ratio of factors f under
 // profile p. Pass a nil profile for traditional (content-only) PSPNR.
 func TilePSPNR(p *jnd.Profile, orig *frame.Frame, enc *frame.Frame, r geom.Rect, f jnd.Factors) (float64, error) {
-	content := jnd.ContentField(orig, r)
-	ratio := 1.0
-	if p != nil {
-		ratio = p.ActionRatio(f)
-	}
-	field := ScaleField(content, ratio)
-	sub, err := orig.Region(r)
+	pmse, err := tilePMSE(p, nil, "", orig, enc, r, f)
 	if err != nil {
 		return 0, err
 	}
-	pmse, err := PMSE(sub, enc, field)
+	return PSPNRFromPMSE(pmse), nil
+}
+
+// TilePSPNRCached is TilePSPNR with the content-JND field served from
+// cache under (chunkKey, r); chunkKey must identify the original
+// pixels (e.g. video name + frame index). A nil cache computes fresh.
+func TilePSPNRCached(p *jnd.Profile, cache *jnd.FieldCache, chunkKey string, orig *frame.Frame, enc *frame.Frame, r geom.Rect, f jnd.Factors) (float64, error) {
+	pmse, err := tilePMSE(p, cache, chunkKey, orig, enc, r, f)
 	if err != nil {
 		return 0, err
 	}
@@ -99,7 +126,17 @@ func TilePSPNR(p *jnd.Profile, orig *frame.Frame, enc *frame.Frame, r geom.Rect,
 // tile-level allocator aggregates area-weighted before converting to dB
 // (§6.1).
 func TilePMSE(p *jnd.Profile, orig *frame.Frame, enc *frame.Frame, r geom.Rect, f jnd.Factors) (float64, error) {
-	content := jnd.ContentField(orig, r)
+	return tilePMSE(p, nil, "", orig, enc, r, f)
+}
+
+// TilePMSECached is TilePMSE with the content-JND field served from
+// cache under (chunkKey, r).
+func TilePMSECached(p *jnd.Profile, cache *jnd.FieldCache, chunkKey string, orig *frame.Frame, enc *frame.Frame, r geom.Rect, f jnd.Factors) (float64, error) {
+	return tilePMSE(p, cache, chunkKey, orig, enc, r, f)
+}
+
+func tilePMSE(p *jnd.Profile, cache *jnd.FieldCache, chunkKey string, orig *frame.Frame, enc *frame.Frame, r geom.Rect, f jnd.Factors) (float64, error) {
+	content := cache.ContentField(chunkKey, orig, r)
 	ratio := 1.0
 	if p != nil {
 		ratio = p.ActionRatio(f)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 
 	"pano/internal/abr"
@@ -28,7 +29,7 @@ import (
 // distortion, the score is completely independent of how a system tiled
 // the video — it measures what was delivered, not what the manifest
 // claims.
-func pixelFramePSPNR(m *manifest.Video, v *scene.Video, k int, alloc abr.Allocation, tr *viewport.Trace, prof *jnd.Profile, enc *codec.Encoder) float64 {
+func pixelFramePSPNR(m *manifest.Video, v *scene.Video, k int, alloc abr.Allocation, tr *viewport.Trace, prof *jnd.Profile, enc *codec.Encoder, cache *jnd.FieldCache) float64 {
 	tMid := (float64(k) + 0.5) * m.ChunkSec
 	center := tr.At(tMid)
 	vpSpeed := tr.SpeedAt(tMid)
@@ -40,6 +41,9 @@ func pixelFramePSPNR(m *manifest.Video, v *scene.Video, k int, alloc abr.Allocat
 		fidx = v.Frames() - 1
 	}
 	orig := v.RenderFrame(fidx)
+	// Content-JND fields depend only on the rendered original, so the
+	// cache key is (video, frame); rendering is deterministic.
+	cacheKey := fmt.Sprintf("%s/f%d", v.Name, fidx)
 
 	g := geom.Frame{W: m.W, H: m.H}
 	cells := tiling.Grid12x24.Rects(m.W, m.H)
@@ -79,7 +83,7 @@ func pixelFramePSPNR(m *manifest.Video, v *scene.Video, k int, alloc abr.Allocat
 		if err != nil {
 			continue
 		}
-		field := quality.ScaleField(jnd.ContentField(orig, cell), ratio)
+		field := quality.ScaleField(cache.ContentField(cacheKey, orig, cell), ratio)
 		pmse, err := quality.PMSE(origCell, encCell, field)
 		if err != nil {
 			continue

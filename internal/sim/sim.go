@@ -53,6 +53,12 @@ type Config struct {
 	// Controller overrides the chunk-level bitrate algorithm (default:
 	// the §6.1 MPC at BufferTargetSec; abr.NewBOLA is the alternative).
 	Controller abr.Controller
+	// FieldCache, when set, caches ground-truth content-JND fields
+	// across chunks and sessions, keyed by video, frame and rect —
+	// scoring many sessions of the same video stops recomputing
+	// C(i,j). Hit/miss counters register in the cache's own registry
+	// (see jnd.NewFieldCache); nil recomputes every field.
+	FieldCache *jnd.FieldCache
 	// Obs receives per-chunk QoE metrics (PSPNR, rebuffer seconds,
 	// bits, level decisions) and session gauges; nil disables
 	// instrumentation at zero cost.
@@ -228,7 +234,7 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 		guess := est.BestGuessView(m, clientTrace, k, nowMedia)
 		var delivered float64
 		if cfg.Scene != nil {
-			delivered = pixelFramePSPNR(m, cfg.Scene, k, alloc, tr, cfg.Profile, scoreEnc)
+			delivered = pixelFramePSPNR(m, cfg.Scene, k, alloc, tr, cfg.Profile, scoreEnc, cfg.FieldCache)
 		} else {
 			actual := est.ActualView(m, tr, k)
 			delivered = player.FramePSPNR(m, k, alloc, actual, cfg.Profile)

@@ -1,0 +1,75 @@
+package tiling
+
+import (
+	"testing"
+
+	"pano/internal/mathx"
+)
+
+// FuzzPlan feeds Plan arbitrary grid dimensions, tile budgets, and
+// score surfaces (derived deterministically from the seed). The
+// contract under fuzzing: invalid inputs return an error and never
+// panic; valid inputs produce a layout whose tiles exactly partition
+// the rows×cols unit grid (Layout.Validate) with at most n tiles, and
+// the layout is identical at every worker count.
+func FuzzPlan(f *testing.F) {
+	f.Add(12, 24, 36, int64(1))
+	f.Add(1, 1, 1, int64(2))
+	f.Add(5, 7, 1, int64(3))   // n=1 → whole-grid tile
+	f.Add(3, 3, 100, int64(4)) // budget above unit count
+	f.Add(0, 24, 36, int64(5)) // invalid rows
+	f.Add(12, -2, 36, int64(6))
+	f.Add(12, 24, 0, int64(7)) // invalid n
+	f.Fuzz(func(t *testing.T, rows, cols, n int, seed int64) {
+		// Bound the valid region so the fuzzer can't allocate huge
+		// matrices; oversized dims are still exercised as error paths.
+		if rows > 64 {
+			rows = 64
+		}
+		if cols > 64 {
+			cols = 64
+		}
+		if n > 4096 {
+			n = 4096
+		}
+		// Per-cell values derived from (r,c) alone, so concurrent
+		// scoring is safe and independent of evaluation order.
+		score := func(r, c int) float64 {
+			h := mathx.NewRNG(uint64(seed)<<20 ^ uint64(r*1000003+c))
+			return h.Range(0, 50)
+		}
+
+		layout, err := Plan(rows, cols, n, score)
+		if rows <= 0 || cols <= 0 || n < 1 {
+			if err == nil {
+				t.Fatalf("Plan(%d, %d, %d) accepted invalid input", rows, cols, n)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Plan(%d, %d, %d): %v", rows, cols, n, err)
+		}
+		if err := layout.Validate(); err != nil {
+			t.Fatalf("Plan(%d, %d, %d) layout invalid: %v", rows, cols, n, err)
+		}
+		if len(layout.Tiles) > n {
+			t.Fatalf("Plan(%d, %d, %d) produced %d tiles", rows, cols, n, len(layout.Tiles))
+		}
+
+		// Layout must not depend on the worker count.
+		for _, workers := range []int{1, 3} {
+			alt, err := PlanWorkers(rows, cols, n, score, workers)
+			if err != nil {
+				t.Fatalf("PlanWorkers(workers=%d): %v", workers, err)
+			}
+			if len(alt.Tiles) != len(layout.Tiles) {
+				t.Fatalf("workers=%d: %d tiles, want %d", workers, len(alt.Tiles), len(layout.Tiles))
+			}
+			for i := range alt.Tiles {
+				if alt.Tiles[i] != layout.Tiles[i] {
+					t.Fatalf("workers=%d: tile %d = %+v, want %+v", workers, i, alt.Tiles[i], layout.Tiles[i])
+				}
+			}
+		}
+	})
+}

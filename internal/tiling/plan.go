@@ -1,0 +1,44 @@
+package tiling
+
+import (
+	"fmt"
+
+	"pano/internal/parallel"
+)
+
+// Plan scores a rows×cols unit grid concurrently and groups it into at
+// most n variable-size rectangles with the §5 top-down splitting. It is
+// the one-call form of the offline step the provider runs per chunk:
+// score(r, c) — typically a per-unit-tile PSPNR-efficiency evaluation,
+// the dominant cost — is invoked exactly once per unit tile, from
+// multiple goroutines, so it must be safe for concurrent use. The
+// resulting layout always tiles the grid exactly (no gaps, no
+// overlaps); invalid dimensions or n return an error, never a panic.
+func Plan(rows, cols, n int, score func(r, c int) float64) (Layout, error) {
+	return PlanWorkers(rows, cols, n, score, parallel.Workers())
+}
+
+// PlanWorkers is Plan with an explicit worker count (<= 1 scores
+// serially). The layout is identical for every worker count: scoring
+// writes one matrix cell per unit tile and the splitting runs on the
+// completed matrix.
+func PlanWorkers(rows, cols, n int, score func(r, c int) float64, workers int) (Layout, error) {
+	if rows <= 0 || cols <= 0 {
+		return Layout{}, fmt.Errorf("tiling: invalid grid %dx%d", rows, cols)
+	}
+	if n < 1 {
+		return Layout{}, fmt.Errorf("tiling: n = %d, want >= 1", n)
+	}
+	if score == nil {
+		return Layout{}, fmt.Errorf("tiling: nil score function")
+	}
+	scores := make([][]float64, rows)
+	for r := range scores {
+		scores[r] = make([]float64, cols)
+	}
+	parallel.ForWorkers(workers, rows*cols, func(i int) {
+		r, c := i/cols, i%cols
+		scores[r][c] = score(r, c)
+	})
+	return VariableTiling(scores, n)
+}

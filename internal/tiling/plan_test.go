@@ -1,0 +1,101 @@
+package tiling
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"pano/internal/mathx"
+)
+
+func planScore(seed uint64) func(r, c int) float64 {
+	return func(r, c int) float64 {
+		h := mathx.NewRNG(seed ^ uint64(r*UnitCols+c+1))
+		return h.Range(0, 100)
+	}
+}
+
+func TestPlanMatchesVariableTiling(t *testing.T) {
+	score := planScore(42)
+	scores := make([][]float64, UnitRows)
+	for r := range scores {
+		scores[r] = make([]float64, UnitCols)
+		for c := range scores[r] {
+			scores[r][c] = score(r, c)
+		}
+	}
+	want, err := VariableTiling(scores, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Plan(UnitRows, UnitCols, 36, score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tiles) != len(want.Tiles) {
+		t.Fatalf("Plan: %d tiles, VariableTiling: %d", len(got.Tiles), len(want.Tiles))
+	}
+	for i := range got.Tiles {
+		if got.Tiles[i] != want.Tiles[i] {
+			t.Fatalf("tile %d: %+v vs %+v", i, got.Tiles[i], want.Tiles[i])
+		}
+	}
+}
+
+func TestPlanIdenticalAcrossWorkerCounts(t *testing.T) {
+	score := planScore(7)
+	ref, err := PlanWorkers(UnitRows, UnitCols, 24, score, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := PlanWorkers(UnitRows, UnitCols, 24, score, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Tiles) != len(ref.Tiles) {
+			t.Fatalf("workers=%d: %d tiles, want %d", workers, len(got.Tiles), len(ref.Tiles))
+		}
+		for i := range got.Tiles {
+			if got.Tiles[i] != ref.Tiles[i] {
+				t.Fatalf("workers=%d tile %d: %+v, want %+v", workers, i, got.Tiles[i], ref.Tiles[i])
+			}
+		}
+	}
+}
+
+func TestPlanScoresEachUnitOnce(t *testing.T) {
+	var calls atomic.Int64
+	score := func(r, c int) float64 {
+		calls.Add(1)
+		return float64(r + c)
+	}
+	if _, err := PlanWorkers(6, 10, 12, score, 4); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 60 {
+		t.Fatalf("score called %d times, want 60", n)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	ok := func(r, c int) float64 { return 1 }
+	cases := []struct {
+		name       string
+		rows, cols int
+		n          int
+		score      func(r, c int) float64
+	}{
+		{"zero rows", 0, 24, 12, ok},
+		{"negative cols", 12, -1, 12, ok},
+		{"zero n", 12, 24, 0, ok},
+		{"nil score", 12, 24, 12, nil},
+	}
+	for _, c := range cases {
+		if _, err := Plan(c.rows, c.cols, c.n, c.score); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

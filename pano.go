@@ -22,6 +22,7 @@ import (
 	"pano/internal/manifest"
 	"pano/internal/nettrace"
 	"pano/internal/obs"
+	"pano/internal/parallel"
 	"pano/internal/player"
 	"pano/internal/provider"
 	"pano/internal/scene"
@@ -76,7 +77,27 @@ type (
 	// EventLog is the structured session event logger (log/slog based,
 	// with an in-memory ring buffer for assertions).
 	EventLog = obs.EventLog
+	// JNDFieldCache is the size-bounded concurrent cache of per-chunk
+	// content-JND fields; pass it via SimConfig.FieldCache so repeated
+	// PSPNR scoring stops recomputing C(i,j). Hit/miss/eviction
+	// counters register in the obs registry it was built with.
+	JNDFieldCache = jnd.FieldCache
 )
+
+// NewJNDFieldCache returns a content-JND field cache holding at most
+// maxEntries fields (<= 0 selects a default); reg may be nil.
+func NewJNDFieldCache(maxEntries int, reg *Metrics) *JNDFieldCache {
+	return jnd.NewFieldCache(maxEntries, reg)
+}
+
+// SetParallelism overrides the worker count the pixel kernels
+// (content-JND fields, PSPNR reductions, tile scoring, offline
+// preprocessing) use, returning the previous value. n <= 0 reverts to
+// GOMAXPROCS. The kernels are bit-identical for every worker count.
+func SetParallelism(n int) int { return parallel.SetWorkers(n) }
+
+// Parallelism returns the current kernel worker count.
+func Parallelism() int { return parallel.Workers() }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
