@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmt race race-kernels bench microbench clean
+.PHONY: build test check vet fmt race race-kernels chaos bench microbench clean
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,14 @@ race:
 race-kernels:
 	$(GO) test -race ./internal/parallel ./internal/jnd ./internal/quality ./internal/tiling
 
-check: vet fmt race race-kernels
+# The fault-injection suite under the race detector: the chaos
+# middleware itself plus the client's resilient fetch pipeline
+# (retry/degrade/skip ladder, concurrent-session stress).
+chaos:
+	$(GO) test -race ./internal/chaos -run . -count 1
+	$(GO) test -race ./internal/client -run 'Chaos|Retry|Degrade|Skip|Resilient|Throughput' -count 1
+
+check: vet fmt race race-kernels chaos
 
 # Quick-scale paper evaluation; writes BENCH_<id>.json files.
 bench: build microbench

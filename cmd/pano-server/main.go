@@ -6,10 +6,16 @@
 //
 //	pano-server [-addr :8360] [-manifest path.json]
 //	pano-server [-addr :8360] [-genre sports] [-seed 1] [-duration 30]
+//	pano-server -chaos "seed=7,tile-error=0.1,tile-latency=20ms"
 //
 // With -manifest it serves a preprocessed manifest (e.g. produced by
 // pano-tracegen); otherwise it generates a synthetic video of the given
 // genre and preprocesses it on startup.
+//
+// -chaos wraps the handler in the deterministic fault injector of
+// internal/chaos (see chaos.Parse for the spec grammar) to exercise
+// client resilience: injected 500s, connection aborts, latency,
+// throttling, truncated or stalled bodies, flaky windows.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"os"
 	"strings"
 
+	"pano/internal/chaos"
 	"pano/internal/manifest"
 	"pano/internal/obs"
 	"pano/internal/provider"
@@ -37,7 +44,13 @@ func main() {
 	duration := flag.Int("duration", 10, "video duration in seconds")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logRequests := flag.Bool("log-requests", false, "emit one structured JSON log line per request")
+	chaosSpec := flag.String("chaos", "", `fault-injection spec, e.g. "seed=7,tile-error=0.1" ("" = off)`)
 	flag.Parse()
+
+	chaosProfile, err := chaos.Parse(*chaosSpec)
+	if err != nil {
+		log.Fatalf("pano-server: %v", err)
+	}
 
 	var m *manifest.Video
 	if *manPath != "" {
@@ -79,6 +92,14 @@ func main() {
 		log.Fatalf("pano-server: %v", err)
 	}
 	handler := s.Handler()
+	if chaosProfile.Enabled() {
+		injectorOpts := []chaos.Option{chaos.WithObs(reg)}
+		if *logRequests {
+			injectorOpts = append(injectorOpts, chaos.WithEventLog(obs.NewEventLog(os.Stderr, 0)))
+		}
+		handler = chaos.New(chaosProfile, injectorOpts...).Wrap(handler)
+		log.Printf("chaos injection enabled: %s", chaosProfile)
+	}
 	if *enablePprof {
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)

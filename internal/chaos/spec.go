@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse builds a Profile from a compact comma-separated spec, the
+// format the -chaos flag and the bench scripts use:
+//
+//	seed=7,tile-error=0.1,tile-latency=2ms,tile-jitter=1ms,window=20:5
+//
+// Keys:
+//
+//	seed=N                 decision seed (default 1)
+//	window=P:F             flaky window: F flaky requests per period of P
+//	manifest-error=R       manifest 500 probability
+//	manifest-latency=D     manifest added latency
+//	tile-error=R           tile 500 probability
+//	tile-abort=R           tile connection-abort probability
+//	tile-truncate=R        tile truncated-body probability
+//	tile-stall=R           tile mid-body stall probability
+//	tile-stall-for=D       stall duration (default 250ms)
+//	tile-latency=D         tile added latency
+//	tile-jitter=D          uniform extra tile latency in [0, D)
+//	tile-throttle-bps=F    tile body bandwidth cap, bits/second
+//
+// R is a probability in [0, 1], D a Go duration, N/F numbers. An empty
+// spec returns a disabled (zero) Profile.
+func Parse(spec string) (Profile, error) {
+	p := Profile{Seed: 1}
+	if strings.TrimSpace(spec) == "" {
+		return Profile{}, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("chaos: bad spec element %q (want key=value)", part)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "window":
+			per, fl, ok := strings.Cut(val, ":")
+			if !ok {
+				return Profile{}, fmt.Errorf("chaos: bad window %q (want period:flaky)", val)
+			}
+			if p.Window.Period, err = strconv.Atoi(per); err == nil {
+				p.Window.Flaky, err = strconv.Atoi(fl)
+			}
+		case "manifest-error":
+			p.Manifest.ErrorRate, err = parseRate(val)
+		case "manifest-latency":
+			p.Manifest.Latency, err = time.ParseDuration(val)
+		case "tile-error":
+			p.Tile.ErrorRate, err = parseRate(val)
+		case "tile-abort":
+			p.Tile.AbortRate, err = parseRate(val)
+		case "tile-truncate":
+			p.Tile.TruncateRate, err = parseRate(val)
+		case "tile-stall":
+			p.Tile.StallRate, err = parseRate(val)
+		case "tile-stall-for":
+			p.Tile.StallFor, err = time.ParseDuration(val)
+		case "tile-latency":
+			p.Tile.Latency, err = time.ParseDuration(val)
+		case "tile-jitter":
+			p.Tile.Jitter, err = time.ParseDuration(val)
+		case "tile-throttle-bps":
+			p.Tile.ThrottleBps, err = strconv.ParseFloat(val, 64)
+		default:
+			return Profile{}, fmt.Errorf("chaos: unknown spec key %q", key)
+		}
+		if err != nil {
+			return Profile{}, fmt.Errorf("chaos: bad value for %q: %v", key, err)
+		}
+	}
+	return p, nil
+}
+
+func parseRate(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("rate %v outside [0, 1]", v)
+	}
+	return v, nil
+}
+
+// String renders the profile as a canonical spec Parse accepts.
+func (p Profile) String() string {
+	if !p.Enabled() {
+		return "off"
+	}
+	var parts []string
+	add := func(key, val string) { parts = append(parts, key+"="+val) }
+	if p.Seed != 0 {
+		add("seed", strconv.FormatUint(p.Seed, 10))
+	}
+	if p.Window.Period > 0 {
+		add("window", fmt.Sprintf("%d:%d", p.Window.Period, p.Window.Flaky))
+	}
+	rate := func(key string, v float64) {
+		if v > 0 {
+			add(key, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	dur := func(key string, d time.Duration) {
+		if d > 0 {
+			add(key, d.String())
+		}
+	}
+	rate("manifest-error", p.Manifest.ErrorRate)
+	dur("manifest-latency", p.Manifest.Latency)
+	rate("tile-error", p.Tile.ErrorRate)
+	rate("tile-abort", p.Tile.AbortRate)
+	rate("tile-truncate", p.Tile.TruncateRate)
+	rate("tile-stall", p.Tile.StallRate)
+	dur("tile-stall-for", p.Tile.StallFor)
+	dur("tile-latency", p.Tile.Latency)
+	dur("tile-jitter", p.Tile.Jitter)
+	rate2 := p.Tile.ThrottleBps
+	if rate2 > 0 {
+		add("tile-throttle-bps", strconv.FormatFloat(rate2, 'g', -1, 64))
+	}
+	return strings.Join(parts, ",")
+}

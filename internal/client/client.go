@@ -19,6 +19,7 @@ import (
 	"pano/internal/frame"
 	"pano/internal/jnd"
 	"pano/internal/manifest"
+	"pano/internal/mathx"
 	"pano/internal/obs"
 	"pano/internal/player"
 	"pano/internal/quality"
@@ -53,6 +54,14 @@ func (c *Client) httpClient() *http.Client {
 	return c.HTTP
 }
 
+// drainClose consumes what remains of a response body (bounded) before
+// closing it, so the persistent transport can reuse the connection even
+// on non-200 answers instead of tearing it down.
+func drainClose(resp *http.Response) {
+	_, _ = io.CopyN(io.Discard, resp.Body, 64<<10)
+	resp.Body.Close()
+}
+
 // FetchManifest downloads and validates the manifest.
 func (c *Client) FetchManifest(ctx context.Context) (*manifest.Video, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/manifest.json", nil)
@@ -63,9 +72,9 @@ func (c *Client) FetchManifest(ctx context.Context) (*manifest.Video, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: manifest: %w", err)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("client: manifest: HTTP %d", resp.StatusCode)
+		return nil, fmt.Errorf("client: manifest: %w", &StatusError{Code: resp.StatusCode})
 	}
 	m, err := manifest.Decode(resp.Body)
 	if err != nil {
@@ -88,9 +97,9 @@ func (c *Client) FetchTile(ctx context.Context, k, ti int, l codec.Level) ([]byt
 	if err != nil {
 		return nil, fmt.Errorf("client: tile %d/%d/%d: %w", k, ti, int(l), err)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("client: tile %d/%d/%d: HTTP %d", k, ti, int(l), resp.StatusCode)
+		return nil, fmt.Errorf("client: tile %d/%d/%d: %w", k, ti, int(l), &StatusError{Code: resp.StatusCode})
 	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
@@ -110,11 +119,19 @@ func (c *Client) FetchTile(ctx context.Context, k, ti int, l codec.Level) ([]byt
 
 // ChunkResult records one chunk's streaming outcome.
 type ChunkResult struct {
-	Chunk      int
+	Chunk int
+	// Levels are the delivered per-tile levels: degraded tiles show the
+	// level they were actually fetched at, skipped tiles the lowest
+	// level (their on-screen content is the previous chunk's, §7).
 	Levels     abr.Allocation
 	Bytes      int
 	Download   time.Duration
-	Throughput float64 // bits/s measured from this chunk
+	Throughput float64 // bits/s measured from this chunk's successful attempts
+	// Retries counts failed fetch attempts across the chunk's tiles;
+	// Degraded and Skipped count tiles that fell down the ladder.
+	Retries  int
+	Degraded int
+	Skipped  int
 }
 
 // StreamConfig tunes a streaming session.
@@ -137,6 +154,9 @@ type StreamConfig struct {
 	// event that fires on every exit path, success or failure, with a
 	// terminal status; nil disables it.
 	Log *obs.EventLog
+	// Fetch tunes the resilient tile pipeline (retries, deadlines, the
+	// degradation ladder). The zero value selects DefaultFetchPolicy.
+	Fetch FetchPolicy
 }
 
 // StreamResult summarizes an HTTP streaming session.
@@ -153,6 +173,11 @@ type StreamResult struct {
 	// PSPNR. It is only computed when Obs or Log is attached (the
 	// estimate costs CPU); 0 otherwise.
 	MeanEstPSPNR float64
+	// TotalRetries, DegradedTiles, and SkippedTiles aggregate the
+	// resilient pipeline's outcomes over the session.
+	TotalRetries  int
+	DegradedTiles int
+	SkippedTiles  int
 }
 
 // MOS returns the Table 3 opinion-score band of the session's
@@ -160,13 +185,18 @@ type StreamResult struct {
 func (r *StreamResult) MOS() int { return quality.MOSFromPSPNR(r.MeanEstPSPNR) }
 
 // Stream runs a full adaptive session: fetch manifest, then per chunk
-// run MPC + the planner, fetch every tile at its chosen level, and
-// account throughput. The viewpoint trace plays the role of the HMD
-// sensor feed.
+// run MPC + the planner, fetch every tile at its chosen level through
+// the resilient pipeline (cfg.Fetch), and account throughput. The
+// viewpoint trace plays the role of the HMD sensor feed.
+//
+// Tile failures never abort the session: a failing tile is retried with
+// backoff, re-fetched at the lowest level, and finally skipped
+// (stitched at previous content per §7) while the session continues.
+// Only manifest failure and context cancellation return an error.
 //
 // When cfg.Log is attached, Stream emits a session_summary event on
 // every exit path — success or failure — with a terminal status: "ok",
-// "manifest_error", "tile_error", or "canceled".
+// "tile_degraded", "tile_skipped", "manifest_error", or "canceled".
 func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfig) (result *StreamResult, err error) {
 	if cfg.BufferTargetSec == 0 {
 		cfg.BufferTargetSec = 2
@@ -176,6 +206,7 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 	}
 	cfg.Planner = player.Instrument(cfg.Planner, cfg.Obs)
 	instrumented := cfg.Obs != nil || cfg.Log != nil
+	pol := cfg.Fetch.withDefaults()
 
 	res := &StreamResult{}
 	sess := cfg.Log.Session("planner", cfg.Planner.Name(), "base_url", c.BaseURL)
@@ -183,15 +214,17 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 	start := time.Now()
 	defer func() {
 		status := "ok"
-		if err != nil {
-			switch {
-			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-				status = "canceled"
-			case stage == "manifest":
-				status = "manifest_error"
-			default:
-				status = "tile_error"
-			}
+		switch {
+		case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+			status = "canceled"
+		case err != nil && stage == "manifest":
+			status = "manifest_error"
+		case err != nil:
+			status = "tile_error"
+		case res.SkippedTiles > 0:
+			status = "tile_skipped"
+		case res.DegradedTiles > 0:
+			status = "tile_degraded"
 		}
 		cfg.Obs.Counter("pano_client_sessions_total", "streaming sessions by terminal status",
 			obs.L("status", status)).Inc()
@@ -200,6 +233,8 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 			"total_bytes", res.TotalBytes, "rebuffer_sec", res.RebufferSec,
 			"startup_sec", res.StartupDelay.Seconds(),
 			"elapsed_sec", time.Since(start).Seconds(),
+			"retries", res.TotalRetries,
+			"tiles_degraded", res.DegradedTiles, "tiles_skipped", res.SkippedTiles,
 		}
 		if instrumented {
 			args = append(args, "mean_est_pspnr_db", res.MeanEstPSPNR, "mos", res.MOS())
@@ -231,6 +266,8 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 	if instrumented {
 		prof = jnd.Default()
 	}
+	ins := newFetchInstruments(cfg.Obs)
+	fetchRNG := mathx.NewRNG(pol.Seed + 0xba0ff)
 
 	est := player.NewEstimator()
 	mpc := abr.NewMPC(cfg.BufferTargetSec)
@@ -274,23 +311,57 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 
 		t0 := time.Now()
 		bytes := 0
+		var goodBytes int
+		var goodTime time.Duration
+		var retries, degraded, skipped int
+		delivered := append(abr.Allocation(nil), alloc...)
+		var stale []bool
 		for ti, l := range alloc {
-			data, err := c.FetchTile(ctx, k, ti, l)
-			if err != nil {
-				return nil, err
+			tf, ferr := c.fetchTileResilient(ctx, k, ti, l, pol, buffer, k == 0, fetchRNG, ins, sess)
+			retries += tf.retries
+			if ferr != nil {
+				res.TotalRetries += retries
+				return nil, ferr
 			}
-			bytes += len(data)
+			delivered[ti] = tf.level
+			if tf.skipped {
+				skipped++
+				if stale == nil {
+					stale = make([]bool, len(alloc))
+				}
+				stale[ti] = true
+				delivered[ti] = codec.Level(codec.NumLevels - 1)
+				continue
+			}
+			if tf.degraded {
+				degraded++
+			}
+			bytes += len(tf.data)
+			goodBytes += len(tf.data)
+			goodTime += tf.goodput
 		}
 		dl := time.Since(t0)
 		if dl <= 0 {
 			dl = time.Microsecond
 		}
-		thr := float64(bytes*8) / dl.Seconds()
-		bw.Observe(thr)
+		// Throughput from successful attempts only: retry and backoff
+		// overhead must not poison the bandwidth predictor.
+		var thr float64
+		if goodBytes > 0 {
+			if goodTime <= 0 {
+				goodTime = time.Microsecond
+			}
+			thr = float64(goodBytes*8) / goodTime.Seconds()
+			bw.Observe(thr)
+		}
 		res.Chunks = append(res.Chunks, ChunkResult{
-			Chunk: k, Levels: alloc, Bytes: bytes, Download: dl, Throughput: thr,
+			Chunk: k, Levels: delivered, Bytes: bytes, Download: dl, Throughput: thr,
+			Retries: retries, Degraded: degraded, Skipped: skipped,
 		})
 		res.TotalBytes += bytes
+		res.TotalRetries += retries
+		res.DegradedTiles += degraded
+		res.SkippedTiles += skipped
 		if k == 0 {
 			res.StartupDelay = time.Since(start)
 		}
@@ -312,14 +383,15 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 		bufGauge.Set(buffer)
 		if instrumented {
 			guess := est.BestGuessView(m, tr, k, nowMedia)
-			e := player.FramePSPNR(m, k, alloc, guess, prof)
+			e := player.FramePSPNRDegraded(m, k, delivered, stale, guess, prof)
 			estPSPNR.Observe(e)
 			estSum += e
 			res.MeanEstPSPNR = estSum / float64(k+1)
 			sess.Debug("chunk_done",
 				"chunk", k, "bytes", bytes, "download_sec", dl.Seconds(),
 				"throughput_bps", thr, "stall_sec", stall, "buffer_sec", buffer,
-				"est_pspnr_db", e)
+				"est_pspnr_db", e, "retries", retries,
+				"tiles_degraded", degraded, "tiles_skipped", skipped)
 		}
 	}
 	if instrumented {

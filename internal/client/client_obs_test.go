@@ -103,8 +103,10 @@ func TestStreamMidStreamTileFailureFiresSummary(t *testing.T) {
 	}
 	inner := s.Handler()
 	var tileReqs atomic.Int64
-	// Serve the manifest and the first few tiles, then start failing:
-	// the session dies mid-stream.
+	// Serve the manifest and the first few tiles, then fail every tile
+	// request. The resilient pipeline must NOT abort: the ladder retries,
+	// degrades, and finally skips, and the session runs to completion
+	// with a tile_skipped summary.
 	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if strings.HasPrefix(r.URL.Path, "/video/") && tileReqs.Add(1) > 3 {
 			http.Error(w, "disk on fire", http.StatusInternalServerError)
@@ -114,18 +116,27 @@ func TestStreamMidStreamTileFailureFiresSummary(t *testing.T) {
 	}))
 	defer flaky.Close()
 
-	res, err, reg, el := streamWithObs(t, flaky.URL, context.Background(), StreamConfig{})
-	if err == nil {
-		t.Fatal("mid-stream tile failure should error")
+	res, err, reg, el := streamWithObs(t, flaky.URL, context.Background(), StreamConfig{
+		MaxChunks: 2,
+		Fetch:     fastFetchPolicy(),
+	})
+	if err != nil {
+		t.Fatalf("mid-stream tile failure must not abort the session: %v", err)
 	}
-	if res != nil {
-		t.Fatalf("failed stream returned a result: %+v", res)
+	if res.SkippedTiles == 0 {
+		t.Error("permanently failing tiles should be skipped")
 	}
-	if status := summaryStatus(t, el); status != "tile_error" {
-		t.Errorf("summary status %q, want tile_error", status)
+	if res.TotalRetries == 0 {
+		t.Error("failing tiles should have recorded retries")
 	}
-	if got := reg.CounterValue("pano_client_sessions_total", obs.L("status", "tile_error")); got != 1 {
-		t.Errorf("sessions tile_error counter = %v", got)
+	if status := summaryStatus(t, el); status != "tile_skipped" {
+		t.Errorf("summary status %q, want tile_skipped", status)
+	}
+	if got := reg.CounterValue("pano_client_sessions_total", obs.L("status", "tile_skipped")); got != 1 {
+		t.Errorf("sessions tile_skipped counter = %v", got)
+	}
+	if got := reg.CounterValue("pano_client_tiles_skipped_total"); got != float64(res.SkippedTiles) {
+		t.Errorf("skipped counter %v, result has %d", got, res.SkippedTiles)
 	}
 }
 

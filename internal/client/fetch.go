@@ -1,0 +1,254 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"pano/internal/codec"
+	"pano/internal/mathx"
+	"pano/internal/obs"
+)
+
+// StatusError reports a non-200 response from the server. 5xx responses
+// are retryable (a flaky origin); 4xx are not (the request itself is
+// wrong) and push the fetch ladder straight to its next rung.
+type StatusError struct {
+	Code int
+}
+
+// Error implements error.
+func (e *StatusError) Error() string { return fmt.Sprintf("HTTP %d", e.Code) }
+
+// FetchPolicy tunes the resilient tile-fetch pipeline: per-attempt
+// deadlines derived from buffer occupancy, capped jittered exponential
+// backoff, and the per-tile degradation ladder (retry at the planned
+// level → re-fetch at the lowest level → skip the tile and stitch at
+// previous content, §7). The zero value selects the defaults below, so
+// existing callers get resilience without configuration.
+type FetchPolicy struct {
+	// MaxAttempts bounds attempts per ladder rung (default 3): a tile
+	// sees at most 2*MaxAttempts requests before it is skipped.
+	MaxAttempts int
+	// BaseBackoff is the first retry delay (default 50ms); each retry
+	// doubles it up to MaxBackoff (default 1s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterFrac randomizes each backoff within ±JitterFrac/2 of itself
+	// (default 0.5) so synchronized clients don't retry in lockstep.
+	JitterFrac float64
+	// AttemptTimeout caps one attempt (default 5s). MinAttemptTimeout
+	// (default 100ms) floors the buffer-derived deadline so progress is
+	// always possible even with an empty buffer.
+	AttemptTimeout    time.Duration
+	MinAttemptTimeout time.Duration
+	// Seed drives the backoff jitter (deterministic for tests/benches).
+	Seed uint64
+}
+
+// DefaultFetchPolicy returns the default resilient policy.
+func DefaultFetchPolicy() FetchPolicy {
+	return FetchPolicy{
+		MaxAttempts:       3,
+		BaseBackoff:       50 * time.Millisecond,
+		MaxBackoff:        time.Second,
+		JitterFrac:        0.5,
+		AttemptTimeout:    5 * time.Second,
+		MinAttemptTimeout: 100 * time.Millisecond,
+	}
+}
+
+// withDefaults fills zero fields from DefaultFetchPolicy.
+func (p FetchPolicy) withDefaults() FetchPolicy {
+	d := DefaultFetchPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = d.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	if p.JitterFrac <= 0 {
+		p.JitterFrac = d.JitterFrac
+	}
+	if p.AttemptTimeout <= 0 {
+		p.AttemptTimeout = d.AttemptTimeout
+	}
+	if p.MinAttemptTimeout <= 0 {
+		p.MinAttemptTimeout = d.MinAttemptTimeout
+	}
+	return p
+}
+
+// attemptTimeout derives the per-attempt deadline from buffer
+// occupancy: each attempt may spend at most half the remaining playback
+// buffer, floored at MinAttemptTimeout and capped at AttemptTimeout.
+// During startup (nothing is playing yet) the full AttemptTimeout
+// applies.
+func (p FetchPolicy) attemptTimeout(bufferSec float64, startup bool) time.Duration {
+	if startup {
+		return p.AttemptTimeout
+	}
+	t := time.Duration(bufferSec / 2 * float64(time.Second))
+	if t < p.MinAttemptTimeout {
+		return p.MinAttemptTimeout
+	}
+	if t > p.AttemptTimeout {
+		return p.AttemptTimeout
+	}
+	return t
+}
+
+// backoff returns the jittered delay before retry number attempt
+// (0-based).
+func (p FetchPolicy) backoff(attempt int, rng *mathx.RNG) time.Duration {
+	d := p.BaseBackoff
+	for i := 0; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.JitterFrac > 0 && rng != nil {
+		d = time.Duration(float64(d) * (1 - p.JitterFrac/2 + p.JitterFrac*rng.Float64()))
+	}
+	return d
+}
+
+// retryable classifies a fetch error: 4xx server answers are final for
+// this rung; everything else (5xx, transport errors, truncated or
+// corrupt bodies, attempt deadline expiry) is worth retrying.
+func retryable(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code >= 500
+	}
+	return true
+}
+
+// sleepCtx waits d or until ctx is done, returning ctx.Err() in the
+// latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// fetchInstruments are the per-session obs handles of the resilient
+// pipeline (all nil-safe).
+type fetchInstruments struct {
+	attempts *obs.Histogram // pano_client_tile_attempt_seconds
+	retries  *obs.Counter   // pano_client_tile_retries_total
+	degraded *obs.Counter   // pano_client_tiles_degraded_total
+	skipped  *obs.Counter   // pano_client_tiles_skipped_total
+}
+
+func newFetchInstruments(reg *obs.Registry) fetchInstruments {
+	return fetchInstruments{
+		attempts: reg.Histogram("pano_client_tile_attempt_seconds",
+			"per-attempt tile download latency (including failed attempts)", nil),
+		retries: reg.Counter("pano_client_tile_retries_total",
+			"failed tile fetch attempts that were retried or degraded"),
+		degraded: reg.Counter("pano_client_tiles_degraded_total",
+			"tiles delivered at the lowest level after planned-level failures"),
+		skipped: reg.Counter("pano_client_tiles_skipped_total",
+			"tiles abandoned after the full degradation ladder"),
+	}
+}
+
+// tileFetch is the outcome of the degradation ladder for one tile.
+type tileFetch struct {
+	data     []byte
+	level    codec.Level
+	retries  int
+	degraded bool
+	skipped  bool
+	// goodput is the duration of the successful attempt only, so
+	// throughput accounting excludes retry overhead and the bandwidth
+	// predictor is not poisoned by failures.
+	goodput time.Duration
+}
+
+// fetchTileResilient runs the §7 degradation ladder for one tile:
+// bounded retries with jittered backoff at the planned level, then at
+// the lowest level, then a skip. It returns an error only when the
+// session context itself is canceled; every server-side failure mode
+// resolves to a degraded or skipped outcome so the session continues.
+func (c *Client) fetchTileResilient(ctx context.Context, k, ti int, planned codec.Level,
+	pol FetchPolicy, bufferSec float64, startup bool, rng *mathx.RNG,
+	ins fetchInstruments, sess *slog.Logger) (tileFetch, error) {
+
+	out := tileFetch{level: planned}
+	lowest := codec.Level(codec.NumLevels - 1)
+	rungs := []codec.Level{planned}
+	if planned != lowest {
+		rungs = append(rungs, lowest)
+	}
+	var lastErr error
+	for ri, lv := range rungs {
+		for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+			timeout := pol.attemptTimeout(bufferSec, startup)
+			actx, cancel := context.WithTimeout(ctx, timeout)
+			t0 := time.Now()
+			data, err := c.FetchTile(actx, k, ti, lv)
+			d := time.Since(t0)
+			cancel()
+			ins.attempts.Observe(d.Seconds())
+			if err == nil {
+				out.data, out.level, out.goodput = data, lv, d
+				if ri > 0 {
+					out.degraded = true
+					ins.degraded.Inc()
+					sess.Warn("tile_degraded",
+						"chunk", k, "tile", ti, "planned_level", int(planned),
+						"level", int(lv), "retries", out.retries)
+				}
+				return out, nil
+			}
+			if ctx.Err() != nil {
+				// The session itself was canceled (or hit its overall
+				// deadline): propagate instead of degrading.
+				return out, err
+			}
+			lastErr = err
+			out.retries++
+			ins.retries.Inc()
+			sess.Debug("tile_retry",
+				"chunk", k, "tile", ti, "level", int(lv), "attempt", attempt+1,
+				"timeout_sec", timeout.Seconds(), "error", err.Error())
+			if !retryable(err) {
+				break // this rung is hopeless; drop a level
+			}
+			if attempt < pol.MaxAttempts-1 {
+				if err := sleepCtx(ctx, pol.backoff(attempt, rng)); err != nil {
+					return out, err
+				}
+			}
+		}
+	}
+	out.skipped = true
+	ins.skipped.Inc()
+	sess.Warn("tile_skipped",
+		"chunk", k, "tile", ti, "planned_level", int(planned),
+		"retries", out.retries, "error", errString(lastErr))
+	return out, nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

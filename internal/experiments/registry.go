@@ -41,6 +41,7 @@ var registry = map[string]Runner{
 	"joint3":    tableOnly3(Joint3),
 	"crossuser": tableOnly3(CrossUserPrediction),
 	"parallel":  tableOnly3(ParallelBench),
+	"chaos":     tableOnly3(ChaosBench),
 	"tab2": func(d *Dataset) (*Table, error) {
 		return Table2(d), nil
 	},

@@ -31,6 +31,20 @@
 //	    Table 2 shows up here).
 //	pano_http_requests_total / pano_http_request_seconds
 //	    DASH endpoint load and latency on the §6.2 server.
+//	pano_http_write_errors_total
+//	    response bodies that failed mid-write (truncated manifests or
+//	    tiles) — previously swallowed, now visible per endpoint.
+//	pano_client_tile_attempt_seconds / pano_client_tile_retries_total
+//	    per-attempt tile latency (failures included) and failed attempts
+//	    retried by the resilient fetch pipeline.
+//	pano_client_tiles_degraded_total / pano_client_tiles_skipped_total
+//	    tiles that fell down the degradation ladder (§7 re-fetch at
+//	    lowest quality, then stitch-at-previous-content skip); the
+//	    simulator mirrors these as pano_sim_tiles_{degraded,skipped}_total.
+//	pano_chaos_requests_total / pano_chaos_injections_total
+//	    the fault-injection middleware's traffic and injected faults by
+//	    endpoint and kind (error, abort, truncate, stall, latency,
+//	    throttle).
 //
 // Wiring: internal/server mounts /metrics; internal/client.Stream,
 // internal/sim.Run, internal/abr, and internal/player accept a

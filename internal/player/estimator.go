@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"pano/internal/abr"
+	"pano/internal/codec"
 	"pano/internal/geom"
 	"pano/internal/jnd"
 	"pano/internal/manifest"
@@ -154,6 +155,22 @@ func clampChunk(m *manifest.Video, k int) int {
 // (Equation 4), never as a visibility mask. A nil profile forces the
 // action ratio to 1 (traditional content-JND PSPNR).
 func FramePSPNR(m *manifest.Video, k int, alloc abr.Allocation, view ChunkView, prof *jnd.Profile) float64 {
+	return FramePSPNRDegraded(m, k, alloc, nil, view, prof)
+}
+
+// StalePMSEFactor inflates the perceptible distortion of a skipped
+// tile. A skipped tile is stitched at the previous chunk's content
+// (§7), which at best looks like the lowest encoding level with extra
+// temporal mismatch; doubling the lowest level's PMSE is a conservative
+// stand-in for that mismatch in the table-driven quality model.
+const StalePMSEFactor = 2.0
+
+// FramePSPNRDegraded is FramePSPNR with a per-tile staleness mask:
+// tiles whose fetch was abandoned by the degradation ladder (stale[i]
+// true) are scored at the lowest level with StalePMSEFactor extra
+// distortion instead of their allocated level. A nil mask scores every
+// tile as delivered.
+func FramePSPNRDegraded(m *manifest.Video, k int, alloc abr.Allocation, stale []bool, view ChunkView, prof *jnd.Profile) float64 {
 	var num, den float64
 	for i := range m.Chunks[k].Tiles {
 		t := &m.Chunks[k].Tiles[i]
@@ -161,9 +178,14 @@ func FramePSPNR(m *manifest.Video, k int, alloc abr.Allocation, view ChunkView, 
 		if prof != nil {
 			ratio = prof.ActionRatio(FactorsFor(t, view))
 		}
-		p := EstimatePSPNR(t, alloc[i], ratio)
+		lv, pmseFactor := alloc[i], 1.0
+		if stale != nil && i < len(stale) && stale[i] {
+			lv = codec.Level(codec.NumLevels - 1)
+			pmseFactor = StalePMSEFactor
+		}
+		p := EstimatePSPNR(t, lv, ratio)
 		area := float64(t.Rect.Area())
-		num += area * PMSEFromPSPNR(p)
+		num += area * pmseFactor * PMSEFromPSPNR(p)
 		den += area
 	}
 	if den == 0 {

@@ -127,6 +127,17 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	}
 }
 
+// writeError reports a failed or truncated response write. By the time
+// an Encode/Write fails the status line is already on the wire, so the
+// client only sees a short body — the counter and event make the
+// truncation visible server-side instead of being swallowed.
+func (s *Server) writeError(endpoint string, err error) {
+	s.reg.Counter("pano_http_write_errors_total",
+		"failed or truncated response body writes by endpoint",
+		obs.L("endpoint", endpoint)).Inc()
+	s.log.Logger().Warn("http_write_error", "endpoint", endpoint, "error", err.Error())
+}
+
 // allowGetHead rejects everything but GET and HEAD with 405 (every
 // endpoint, uniformly) and reports whether the request may proceed.
 func allowGetHead(w http.ResponseWriter, r *http.Request) bool {
@@ -146,7 +157,9 @@ func (s *Server) handleMPD(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodHead {
 		return
 	}
-	_ = s.man.MPD().Encode(w)
+	if err := s.man.MPD().Encode(w); err != nil {
+		s.writeError("mpd", err)
+	}
 }
 
 func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
@@ -158,9 +171,9 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.man.Encode(w); err != nil {
-		// Too late for a status code; the connection will carry the
-		// truncation.
-		return
+		// Too late for a status code: the client sees a truncated body.
+		// Count and log it so silent manifest truncation is visible.
+		s.writeError("manifest", err)
 	}
 }
 
@@ -243,7 +256,9 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodHead {
 		return
 	}
-	_, _ = w.Write(TilePayload(k, ti, l, size))
+	if _, err := w.Write(TilePayload(k, ti, l, size)); err != nil {
+		s.writeError("tile", err)
+	}
 }
 
 func maxInt(a, b int) int {

@@ -170,3 +170,60 @@ func TestMetricsAbsentWithoutObs(t *testing.T) {
 		t.Errorf("/metrics without WithObs = %d, want 404", resp.StatusCode)
 	}
 }
+
+// failingWriter errors on the first body write, emulating a client that
+// vanished mid-response.
+type failingWriter struct {
+	h    http.Header
+	code int
+}
+
+func (w *failingWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = http.Header{}
+	}
+	return w.h
+}
+func (w *failingWriter) WriteHeader(code int)      { w.code = code }
+func (w *failingWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestWriteErrorsCountedAndLogged(t *testing.T) {
+	reg := obs.NewRegistry()
+	el := obs.NewEventLog(nil, 64)
+	s, err := New(testManifest(t), WithObs(reg), WithEventLog(el))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	for _, tc := range []struct {
+		path, endpoint string
+	}{
+		{"/manifest.json", "manifest"},
+		{"/manifest.mpd", "mpd"},
+		{"/video/0/0/0.bin", "tile"},
+	} {
+		h.ServeHTTP(&failingWriter{}, httptest.NewRequest(http.MethodGet, tc.path, nil))
+		if got := reg.CounterValue("pano_http_write_errors_total", obs.L("endpoint", tc.endpoint)); got != 1 {
+			t.Errorf("%s: write-error counter = %v, want 1", tc.endpoint, got)
+		}
+	}
+	if e, ok := el.Last("http_write_error"); !ok || e.Str("error") == "" {
+		t.Error("no http_write_error event with an error recorded")
+	}
+
+	// Healthy traffic never touches the counter.
+	reg2 := obs.NewRegistry()
+	s2, err := New(testManifest(t), WithObs(reg2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s2.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/manifest.json", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("manifest status %d", rec.Code)
+	}
+	if got := reg2.CounterValue("pano_http_write_errors_total", obs.L("endpoint", "manifest")); got != 0 {
+		t.Errorf("healthy write counted as error: %v", got)
+	}
+}

@@ -46,6 +46,13 @@ type Config struct {
 	BWErrorFrac float64
 	// Seed drives the noise.
 	Seed uint64
+	// TileLossRate is the probability that a tile's fetch permanently
+	// fails in the simulated transport (all retries exhausted). A lost
+	// tile follows the client's degradation ladder (§7): it is re-fetched
+	// at the lowest level; if that draw fails too the tile is skipped and
+	// scored as stale content. 0 disables the model entirely (no RNG
+	// draws), keeping existing sessions bit-identical.
+	TileLossRate float64
 	// Scene, when set, enables ground-truth quality scoring at unit-
 	// tile granularity (independent of the system's tiling). Without
 	// it, scoring falls back to the manifest's own tiles.
@@ -112,6 +119,11 @@ type Result struct {
 	PerChunkAlloc []abr.Allocation
 	// TotalBits is the session's downloaded volume.
 	TotalBits float64
+	// DegradedTiles and SkippedTiles count the degradation-ladder
+	// outcomes under Config.TileLossRate (both 0 when the loss model is
+	// off).
+	DegradedTiles int
+	SkippedTiles  int
 }
 
 // MOS returns the Table 3 opinion-score band of the session quality.
@@ -154,6 +166,14 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 	dlSeconds := cfg.Obs.Histogram("pano_sim_chunk_download_seconds",
 		"per-chunk download time on the simulated link", nil)
 	bufGauge := cfg.Obs.Gauge("pano_sim_buffer_sec", "playback buffer after each chunk")
+	degradedTotal := cfg.Obs.Counter("pano_sim_tiles_degraded_total",
+		"tiles delivered at the lowest level after simulated transport loss")
+	skippedTotal := cfg.Obs.Counter("pano_sim_tiles_skipped_total",
+		"tiles lost after the full degradation ladder (scored as stale)")
+	var lossRNG *mathx.RNG
+	if cfg.TileLossRate > 0 {
+		lossRNG = mathx.NewRNG(cfg.Seed + 0x10e55)
+	}
 	sess := cfg.Log.Session(
 		"system", pl.Name(), "video", m.Name,
 		"chunks", m.NumChunks(), "tiles", len(m.Chunks[0].Tiles))
@@ -206,7 +226,35 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 		// Tile-level allocation on the client's (possibly noisy) view.
 		view := est.View(m, clientTrace, k, nowMedia)
 		alloc := pl.Plan(m, k, view, budget)
-		bits := allocBits(m, k, alloc)
+
+		// Transport losses: walk the ladder per tile (degrade to lowest,
+		// then skip). Delivered levels and the stale mask drive both the
+		// bit accounting and the quality scoring below.
+		delivered, stale := alloc, []bool(nil)
+		var degraded, skippedNow int
+		if cfg.TileLossRate > 0 {
+			delivered = append(abr.Allocation(nil), alloc...)
+			stale = make([]bool, len(alloc))
+			lowest := codec.Level(codec.NumLevels - 1)
+			for i := range delivered {
+				if lossRNG.Float64() >= cfg.TileLossRate {
+					continue
+				}
+				if delivered[i] != lowest && lossRNG.Float64() >= cfg.TileLossRate {
+					delivered[i] = lowest
+					degraded++
+					continue
+				}
+				delivered[i] = lowest
+				stale[i] = true
+				skippedNow++
+			}
+			res.DegradedTiles += degraded
+			res.SkippedTiles += skippedNow
+			degradedTotal.Add(float64(degraded))
+			skippedTotal.Add(float64(skippedNow))
+		}
+		bits := deliveredBits(m, k, delivered, stale)
 
 		// Download.
 		dl := link.DownloadTime(wall, bits)
@@ -232,19 +280,24 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 		// client's best-guess view (Figure 16a measures this gap); the
 		// allocation above used the conservative view.
 		guess := est.BestGuessView(m, clientTrace, k, nowMedia)
-		var delivered float64
+		var score float64
 		if cfg.Scene != nil {
-			delivered = pixelFramePSPNR(m, cfg.Scene, k, alloc, tr, cfg.Profile, scoreEnc, cfg.FieldCache)
+			// Pixel-accurate scoring has no staleness model; stale tiles
+			// are already pinned to the lowest level in delivered, which
+			// underestimates their distortion slightly.
+			score = pixelFramePSPNR(m, cfg.Scene, k, delivered, tr, cfg.Profile, scoreEnc, cfg.FieldCache)
 		} else {
 			actual := est.ActualView(m, tr, k)
-			delivered = player.FramePSPNR(m, k, alloc, actual, cfg.Profile)
+			score = player.FramePSPNRDegraded(m, k, delivered, stale, actual, cfg.Profile)
 		}
+		// The client's plan-time estimate predates any transport loss, so
+		// it scores the planned allocation.
 		estimated := player.FramePSPNR(m, k, alloc, guess, cfg.Profile)
-		res.PerChunkPSPNR = append(res.PerChunkPSPNR, delivered)
+		res.PerChunkPSPNR = append(res.PerChunkPSPNR, score)
 		res.PerChunkEstPSPNR = append(res.PerChunkEstPSPNR, estimated)
-		res.PerChunkAlloc = append(res.PerChunkAlloc, alloc)
+		res.PerChunkAlloc = append(res.PerChunkAlloc, delivered)
 
-		chunkPSPNR.Observe(delivered)
+		chunkPSPNR.Observe(score)
 		chunksTotal.Inc()
 		rebufTotal.Add(stall)
 		bitsTotal.Add(bits)
@@ -258,7 +311,8 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 		sess.Debug("chunk_done",
 			"chunk", k, "level", int(prevLevel), "bits", bits,
 			"download_sec", dl, "stall_sec", stall, "buffer_sec", buffer,
-			"pspnr_db", delivered, "est_pspnr_db", estimated)
+			"pspnr_db", score, "est_pspnr_db", estimated,
+			"tiles_degraded", degraded, "tiles_skipped", skippedNow)
 	}
 
 	dur := m.DurationSec()
@@ -276,13 +330,28 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 		"status", "ok", "mean_pspnr_db", res.MeanPSPNR, "mos", res.MOS(),
 		"buffering_pct", res.BufferingRatio, "stall_sec", res.StallSec,
 		"bandwidth_mbps", res.BandwidthMbps, "startup_sec", res.StartupDelaySec,
-		"total_bits", res.TotalBits)
+		"total_bits", res.TotalBits,
+		"tiles_degraded", res.DegradedTiles, "tiles_skipped", res.SkippedTiles)
 	return res, nil
 }
 
 func allocBits(m *manifest.Video, k int, a abr.Allocation) float64 {
 	var s float64
 	for i, l := range a {
+		s += m.Chunks[k].Tiles[i].Bits[l]
+	}
+	return s
+}
+
+// deliveredBits sums the bits of the tiles that actually arrived:
+// skipped tiles contribute nothing (their retries' waste is not goodput,
+// matching the client's retry-excluding throughput accounting).
+func deliveredBits(m *manifest.Video, k int, a abr.Allocation, stale []bool) float64 {
+	var s float64
+	for i, l := range a {
+		if stale != nil && stale[i] {
+			continue
+		}
 		s += m.Chunks[k].Tiles[i].Bits[l]
 	}
 	return s

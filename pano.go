@@ -18,6 +18,7 @@ package pano
 import (
 	"io"
 
+	"pano/internal/chaos"
 	"pano/internal/jnd"
 	"pano/internal/manifest"
 	"pano/internal/nettrace"
@@ -70,6 +71,21 @@ type (
 	StreamConfig = panoclient.StreamConfig
 	// StreamResult summarizes an HTTP streaming session.
 	StreamResult = panoclient.StreamResult
+	// FetchPolicy tunes the client's resilient tile pipeline: per-attempt
+	// deadlines from buffer occupancy, capped jittered backoff, and the
+	// degrade-to-lowest-then-skip ladder. Set via StreamConfig.Fetch; the
+	// zero value selects DefaultFetchPolicy.
+	FetchPolicy = panoclient.FetchPolicy
+	// ChaosProfile configures the deterministic fault-injection
+	// middleware (per-endpoint error/abort/truncate/stall rates, latency,
+	// throttling, flaky windows).
+	ChaosProfile = chaos.Profile
+	// ChaosRule is the fault mix for one endpoint class.
+	ChaosRule = chaos.Rule
+	// ChaosWindow is the request-sequence flaky schedule.
+	ChaosWindow = chaos.Window
+	// ChaosInjector wraps an http.Handler with a ChaosProfile's faults.
+	ChaosInjector = chaos.Injector
 	// Metrics is the zero-dependency observability registry; pass it
 	// via SimConfig.Obs, StreamConfig.Obs, or NewServerWith to collect
 	// QoE metrics and scrape them in Prometheus format. nil disables.
@@ -191,3 +207,19 @@ func NewServer(m *Manifest) (*Server, error) { return server.New(m) }
 
 // NewClient returns a streaming client for a server base URL.
 func NewClient(baseURL string) *Client { return panoclient.New(baseURL) }
+
+// DefaultFetchPolicy returns the client's default resilience knobs
+// (3 attempts per ladder rung, 50ms-1s jittered backoff, buffer-derived
+// attempt deadlines capped at 5s).
+func DefaultFetchPolicy() FetchPolicy { return panoclient.DefaultFetchPolicy() }
+
+// NewChaosInjector returns a fault-injection middleware for the
+// profile; wrap any handler (typically Server.Handler) with Wrap. reg
+// may be nil.
+func NewChaosInjector(p ChaosProfile, reg *Metrics) *ChaosInjector {
+	return chaos.New(p, chaos.WithObs(reg))
+}
+
+// ParseChaos parses the compact comma-separated chaos spec used by the
+// pano-server -chaos flag, e.g. "seed=7,tile-error=0.1,tile-latency=20ms".
+func ParseChaos(spec string) (ChaosProfile, error) { return chaos.Parse(spec) }
