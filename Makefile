@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmt race race-kernels chaos bench microbench clean
+.PHONY: build test check vet fmt race race-kernels chaos trace bench microbench clean
 
 build:
 	$(GO) build ./...
@@ -42,7 +42,15 @@ chaos:
 	$(GO) test -race ./internal/chaos -run . -count 1
 	$(GO) test -race ./internal/client -run 'Chaos|Retry|Degrade|Skip|Resilient|Throughput' -count 1
 
-check: vet fmt race race-kernels chaos
+# One traced session end to end: a seeded simulator run (per-phase
+# latency breakdown lands in BENCH_trace.json) plus a chaos-wrapped HTTP
+# session whose client and server spans stitch into one trace. The
+# exported trace.perfetto.json is shape-validated and loads in Perfetto
+# (ui.perfetto.dev) or chrome://tracing.
+trace:
+	$(GO) run ./cmd/pano-bench -scale quick trace
+
+check: vet fmt race race-kernels chaos trace
 
 # Quick-scale paper evaluation; writes BENCH_<id>.json files.
 bench: build microbench
@@ -57,5 +65,5 @@ microbench:
 		./internal/jnd ./internal/quality ./internal/tiling | tee -a BENCH_micro.txt
 
 clean:
-	rm -f BENCH_*.json BENCH_micro.txt
+	rm -f BENCH_*.json BENCH_micro.txt trace.perfetto.json
 	rm -rf fig14-out

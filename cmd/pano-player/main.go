@@ -5,11 +5,13 @@
 //
 //	pano-player [-url http://127.0.0.1:8360] [-planner pano|viewport|whole]
 //	            [-buffer 2] [-chunks 0] [-trace-seed 3]
-//	            [-events] [-metrics]
+//	            [-events] [-metrics] [-trace-out session.json]
 //
 // -events mirrors the session's structured event log as JSON lines on
 // stderr; -metrics dumps the session's metrics in Prometheus text
-// exposition format on exit.
+// exposition format on exit; -trace-out records the session as a span
+// tree and writes it as Chrome trace-event JSON (open in Perfetto or
+// chrome://tracing).
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"pano/internal/obs"
 	"pano/internal/player"
 	"pano/internal/scene"
+	"pano/internal/trace"
 	"pano/internal/viewport"
 )
 
@@ -34,6 +37,7 @@ func main() {
 	traceSeed := flag.Uint64("trace-seed", 3, "viewpoint trace seed")
 	events := flag.Bool("events", false, "emit structured JSON events on stderr")
 	metrics := flag.Bool("metrics", false, "dump Prometheus metrics on exit")
+	traceOut := flag.String("trace-out", "", "write the session trace as Chrome trace-event JSON to this file")
 	flag.Parse()
 
 	var pl player.Planner
@@ -72,22 +76,37 @@ func main() {
 	} else {
 		evlog = obs.NewEventLog(nil, 0)
 	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(trace.Config{Obs: reg, Log: evlog})
+	}
 	res, err := cl.Stream(ctx, tr, client.StreamConfig{
 		BufferTargetSec: *buffer,
 		Planner:         pl,
 		MaxChunks:       *chunks,
 		Obs:             reg,
 		Log:             evlog,
+		Trace:           tracer,
 	})
 	if *metrics {
 		// Written before the error check so a failed session still
 		// dumps what it recorded (log.Fatalf skips defers).
 		_ = reg.WritePrometheus(os.Stderr)
 	}
+	if tracer != nil {
+		// Written before the error check too: a failed session's trace is
+		// the one most worth looking at.
+		if werr := writeTrace(*traceOut, tracer); werr != nil {
+			log.Printf("pano-player: %v", werr)
+		}
+	}
 	if err != nil {
 		log.Fatalf("pano-player: %v", err)
 	}
 	fmt.Printf("startup delay: %v\n", res.StartupDelay)
+	if res.TraceID != "" {
+		fmt.Printf("trace: %s (%s)\n", res.TraceID, *traceOut)
+	}
 	for _, ch := range res.Chunks {
 		hi, lo := levelSpread(ch)
 		fmt.Printf("chunk %3d: %7d bytes in %8v (%.2f Mbps), levels L%d..L%d\n",
@@ -97,6 +116,18 @@ func main() {
 		res.TotalBytes, len(res.Chunks), pl.Name())
 	fmt.Printf("qoe: est PSPNR %.1f dB (MOS %d), rebuffer %.2fs\n",
 		res.MeanEstPSPNR, res.MOS(), res.RebufferSec)
+}
+
+func writeTrace(path string, tracer *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(f, tracer.Traces()...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func levelSpread(ch client.ChunkResult) (hi, lo int) {

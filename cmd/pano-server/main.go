@@ -33,6 +33,7 @@ import (
 	"pano/internal/provider"
 	"pano/internal/scene"
 	"pano/internal/server"
+	"pano/internal/trace"
 	"pano/internal/viewport"
 )
 
@@ -45,6 +46,7 @@ func main() {
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logRequests := flag.Bool("log-requests", false, "emit one structured JSON log line per request")
 	chaosSpec := flag.String("chaos", "", `fault-injection spec, e.g. "seed=7,tile-error=0.1" ("" = off)`)
+	enableTrace := flag.Bool("trace", false, "record handler spans for traced requests (browse at /debug/traces)")
 	flag.Parse()
 
 	chaosProfile, err := chaos.Parse(*chaosSpec)
@@ -84,8 +86,18 @@ func main() {
 	}
 	reg := obs.NewRegistry()
 	opts := []server.Option{server.WithObs(reg)}
+	// One shared event log: server requests, chaos injections, and span
+	// records all land in the same stderr stream and the same
+	// /debug/events ring buffer.
+	var evlog *obs.EventLog
 	if *logRequests {
-		opts = append(opts, server.WithEventLog(obs.NewEventLog(os.Stderr, 0)))
+		evlog = obs.NewEventLog(os.Stderr, 0)
+		opts = append(opts, server.WithEventLog(evlog))
+	}
+	var tracer *trace.Tracer
+	if *enableTrace {
+		tracer = trace.New(trace.Config{Obs: reg, Log: evlog})
+		opts = append(opts, server.WithTracer(tracer))
 	}
 	s, err := server.New(m, opts...)
 	if err != nil {
@@ -94,11 +106,17 @@ func main() {
 	handler := s.Handler()
 	if chaosProfile.Enabled() {
 		injectorOpts := []chaos.Option{chaos.WithObs(reg)}
-		if *logRequests {
-			injectorOpts = append(injectorOpts, chaos.WithEventLog(obs.NewEventLog(os.Stderr, 0)))
+		if evlog != nil {
+			injectorOpts = append(injectorOpts, chaos.WithEventLog(evlog))
 		}
 		handler = chaos.New(chaosProfile, injectorOpts...).Wrap(handler)
 		log.Printf("chaos injection enabled: %s", chaosProfile)
+	}
+	if tracer != nil {
+		// Outermost, so the chaos injector and the handler instrumentation
+		// both see (and annotate) the active span via the request context.
+		handler = trace.Middleware(tracer, handler)
+		log.Printf("span tracing enabled (traces at /debug/traces)")
 	}
 	if *enablePprof {
 		mux := http.NewServeMux()

@@ -1,11 +1,13 @@
 package abr
 
 import (
+	"context"
 	"math"
 	"strconv"
 
 	"pano/internal/codec"
 	"pano/internal/obs"
+	"pano/internal/trace"
 )
 
 // ChunkPlan gives the MPC controller one future chunk's menu: total size
@@ -56,15 +58,43 @@ func NewMPC(targetBufferSec float64) *MPC {
 // evaluated as-is). The resulting level's Bits value is the chunk's tile
 // budget.
 func (m *MPC) PickLevel(bufferSec, predBWbps, chunkSec float64, prev codec.Level, horizon []ChunkPlan) codec.Level {
-	if m.Obs == nil {
+	return m.PickLevelCtx(context.Background(), bufferSec, predBWbps, chunkSec, prev, horizon)
+}
+
+// ContextController is implemented by controllers that carry tracing
+// context through the decision (the MPC opens an "mpc" span as a child
+// of the context's chunk span and exemplar-links its latency
+// histogram). Callers holding a traced context should prefer it.
+type ContextController interface {
+	Controller
+	PickLevelCtx(ctx context.Context, bufferSec, predBWbps, chunkSec float64, prev codec.Level, horizon []ChunkPlan) codec.Level
+}
+
+var _ ContextController = (*MPC)(nil)
+
+// PickLevelCtx is PickLevel under a context: when ctx carries an active
+// trace span, the decision runs inside a child "mpc" span (annotated
+// with the chosen level and horizon depth, §6.1's decision step), and
+// the pano_abr_decision_seconds observation carries the trace id as an
+// exemplar so a slow decision bucket links to its trace.
+func (m *MPC) PickLevelCtx(ctx context.Context, bufferSec, predBWbps, chunkSec float64, prev codec.Level, horizon []ChunkPlan) codec.Level {
+	if m.Obs == nil && trace.FromContext(ctx) == nil {
 		return m.pickLevel(bufferSec, predBWbps, chunkSec, prev, horizon)
 	}
-	t := obs.NewTimer(m.Obs.Histogram("pano_abr_decision_seconds",
-		"MPC chunk-level decision latency", nil))
+	_, sp := trace.StartSpan(ctx, "mpc",
+		trace.A("buffer_sec", bufferSec), trace.A("pred_bps", predBWbps))
+	t := obs.NewTimer(nil)
 	lv := m.pickLevel(bufferSec, predBWbps, chunkSec, prev, horizon)
-	t.ObserveDuration()
-	m.Obs.Counter("pano_abr_level_decisions_total", "MPC decisions by chosen level",
-		obs.L("level", levelLabel(lv))).Inc()
+	d := t.ObserveDuration()
+	sp.Annotate("level", int(lv))
+	sp.Annotate("horizon", len(horizon))
+	sp.End()
+	if m.Obs != nil {
+		m.Obs.Histogram("pano_abr_decision_seconds",
+			"MPC chunk-level decision latency", nil).ObserveExemplar(d.Seconds(), sp.TraceHex())
+		m.Obs.Counter("pano_abr_level_decisions_total", "MPC decisions by chosen level",
+			obs.L("level", levelLabel(lv))).Inc()
+	}
 	return lv
 }
 

@@ -28,6 +28,7 @@ import (
 
 	"pano/internal/mathx"
 	"pano/internal/obs"
+	"pano/internal/trace"
 )
 
 // Rule is the fault mix applied to one endpoint class. Rates are
@@ -207,26 +208,35 @@ func (in *Injector) Wrap(next http.Handler) http.Handler {
 		}
 
 		d := decide(in.p.Seed, r.URL.Path, n, rule)
+		// When trace.Middleware wrapped us (it must sit OUTSIDE the
+		// injector), every injected fault is annotated on the active
+		// handler span, so a failed attempt's trace names its cause.
+		sp := trace.FromContext(r.Context())
 		if d.latency > 0 {
 			in.count(endpoint, "latency")
+			sp.Annotate("chaos.latency_sec", d.latency.Seconds())
 			time.Sleep(d.latency)
 		}
 		switch {
 		case d.abort:
 			in.inject(endpoint, "abort", r)
+			sp.Annotate("chaos.abort", true)
 			panic(http.ErrAbortHandler)
 		case d.error500:
 			in.inject(endpoint, "error", r)
+			sp.Annotate("chaos.error", true)
 			http.Error(w, "chaos: injected error", http.StatusInternalServerError)
 			return
 		}
 		cw := &chaosWriter{rw: w, throttleBps: rule.ThrottleBps, truncateAt: -1, stallAt: -1}
 		if d.truncate {
 			in.inject(endpoint, "truncate", r)
+			sp.Annotate("chaos.truncate", true)
 			cw.truncate = true
 		}
 		if d.stall {
 			in.inject(endpoint, "stall", r)
+			sp.Annotate("chaos.stall", true)
 			cw.stall = true
 			cw.stallFor = rule.StallFor
 			if cw.stallFor <= 0 {
@@ -235,6 +245,7 @@ func (in *Injector) Wrap(next http.Handler) http.Handler {
 		}
 		if rule.ThrottleBps > 0 {
 			in.count(endpoint, "throttle")
+			sp.Annotate("chaos.throttle_bps", rule.ThrottleBps)
 		}
 		next.ServeHTTP(cw, r)
 	})

@@ -24,6 +24,7 @@ import (
 	"pano/internal/player"
 	"pano/internal/quality"
 	"pano/internal/server"
+	"pano/internal/trace"
 	"pano/internal/viewport"
 )
 
@@ -68,6 +69,9 @@ func (c *Client) FetchManifest(ctx context.Context) (*manifest.Video, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s := trace.FromContext(ctx); s != nil {
+		req.Header.Set("traceparent", s.Traceparent())
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: manifest: %w", err)
@@ -92,6 +96,10 @@ func (c *Client) FetchTile(ctx context.Context, k, ti int, l codec.Level) ([]byt
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
+	}
+	if s := trace.FromContext(ctx); s != nil {
+		// Stitch the server's handler span into this trace (W3C hop).
+		req.Header.Set("traceparent", s.Traceparent())
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -157,6 +165,12 @@ type StreamConfig struct {
 	// Fetch tunes the resilient tile pipeline (retries, deadlines, the
 	// degradation ladder). The zero value selects DefaultFetchPolicy.
 	Fetch FetchPolicy
+	// Trace, when set, records the session as a span tree — session →
+	// chunk → {estimate, mpc, assign, fetch → tile_fetch → attempt,
+	// stitch} — with the client's traceparent header stitching
+	// server-side handler spans into the same trace. nil disables
+	// tracing at zero cost (no span is ever allocated).
+	Trace *trace.Tracer
 }
 
 // StreamResult summarizes an HTTP streaming session.
@@ -178,6 +192,10 @@ type StreamResult struct {
 	TotalRetries  int
 	DegradedTiles int
 	SkippedTiles  int
+	// TraceID is the session trace's hex id when StreamConfig.Trace was
+	// set and the session was sampled ("" otherwise) — the key for
+	// /debug/traces?trace=... and histogram exemplars.
+	TraceID string
 }
 
 // MOS returns the Table 3 opinion-score band of the session's
@@ -210,6 +228,13 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 
 	res := &StreamResult{}
 	sess := cfg.Log.Session("planner", cfg.Planner.Name(), "base_url", c.BaseURL)
+	ctx, sessSpan := cfg.Trace.Start(ctx, "session",
+		trace.A("component", "client"), trace.A("planner", cfg.Planner.Name()),
+		trace.A("base_url", c.BaseURL))
+	res.TraceID = sessSpan.TraceHex()
+	if res.TraceID != "" {
+		sess = sess.With("trace_id", res.TraceID)
+	}
 	stage := "manifest"
 	start := time.Now()
 	defer func() {
@@ -226,6 +251,13 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 		case res.DegradedTiles > 0:
 			status = "tile_degraded"
 		}
+		sessSpan.Annotate("status", status)
+		sessSpan.Annotate("chunks", len(res.Chunks))
+		sessSpan.Annotate("retries", res.TotalRetries)
+		if err != nil {
+			sessSpan.SetError(status)
+		}
+		sessSpan.End()
 		cfg.Obs.Counter("pano_client_sessions_total", "streaming sessions by terminal status",
 			obs.L("status", status)).Inc()
 		args := []any{
@@ -281,15 +313,22 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 	var buffer, estSum float64
 	prev := codec.Level(-1)
 	for k := 0; k < n; k++ {
+		cctx, chunkSpan := trace.StartSpan(ctx, "chunk", trace.A("chunk", k))
 		nowMedia := float64(k)*m.ChunkSec - buffer
 		if nowMedia < 0 {
 			nowMedia = 0
 		}
-		var budget float64
+		// Phase: bandwidth + viewpoint estimation.
+		_, eSpan := trace.StartSpan(cctx, "estimate")
 		pred := bw.Predict()
 		if cfg.MaxRateBps > 0 && pred > cfg.MaxRateBps {
 			pred = cfg.MaxRateBps
 		}
+		view := est.View(m, tr, k, nowMedia)
+		eSpan.Annotate("pred_bps", pred)
+		eSpan.End()
+		// Phase: chunk-level MPC decision.
+		var budget float64
 		if pred == 0 {
 			budget = m.ChunkBits(k, codec.Level(codec.NumLevels-1))
 		} else {
@@ -302,13 +341,15 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 				}
 				horizon = append(horizon, p)
 			}
-			lv := mpc.PickLevel(buffer, pred, m.ChunkSec, prev, horizon)
+			lv := mpc.PickLevelCtx(cctx, buffer, pred, m.ChunkSec, prev, horizon)
 			budget = m.ChunkBits(k, lv)
 			prev = lv
 		}
-		view := est.View(m, tr, k, nowMedia)
-		alloc := cfg.Planner.Plan(m, k, view, budget)
+		// Phase: per-tile quality assignment.
+		alloc := player.PlanWithContext(cctx, cfg.Planner, m, k, view, budget)
 
+		// Phase: tile fetches through the resilient ladder.
+		fctx, fSpan := trace.StartSpan(cctx, "fetch")
 		t0 := time.Now()
 		bytes := 0
 		var goodBytes int
@@ -317,10 +358,13 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 		delivered := append(abr.Allocation(nil), alloc...)
 		var stale []bool
 		for ti, l := range alloc {
-			tf, ferr := c.fetchTileResilient(ctx, k, ti, l, pol, buffer, k == 0, fetchRNG, ins, sess)
+			tf, ferr := c.fetchTileResilient(fctx, k, ti, l, pol, buffer, k == 0, fetchRNG, ins, sess)
 			retries += tf.retries
 			if ferr != nil {
 				res.TotalRetries += retries
+				fSpan.SetError("canceled")
+				fSpan.End()
+				chunkSpan.End()
 				return nil, ferr
 			}
 			delivered[ti] = tf.level
@@ -344,6 +388,11 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 		if dl <= 0 {
 			dl = time.Microsecond
 		}
+		fSpan.Annotate("bytes", bytes)
+		fSpan.Annotate("retries", retries)
+		fSpan.Annotate("tiles_degraded", degraded)
+		fSpan.Annotate("tiles_skipped", skipped)
+		fSpan.End()
 		// Throughput from successful attempts only: retry and backoff
 		// overhead must not poison the bandwidth predictor.
 		var thr float64
@@ -379,11 +428,16 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 		chunksTotal.Inc()
 		bytesTotal.Add(float64(bytes))
 		rebufTotal.Add(stall)
-		dlSeconds.Observe(dl.Seconds())
+		dlSeconds.ObserveExemplar(dl.Seconds(), chunkSpan.TraceHex())
 		bufGauge.Set(buffer)
 		if instrumented {
+			// Phase: stitch + viewport-quality scoring of what was
+			// actually delivered (degraded/stale tiles included).
+			_, sSpan := trace.StartSpan(cctx, "stitch")
 			guess := est.BestGuessView(m, tr, k, nowMedia)
 			e := player.FramePSPNRDegraded(m, k, delivered, stale, guess, prof)
+			sSpan.Annotate("est_pspnr_db", e)
+			sSpan.End()
 			estPSPNR.Observe(e)
 			estSum += e
 			res.MeanEstPSPNR = estSum / float64(k+1)
@@ -393,6 +447,11 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 				"est_pspnr_db", e, "retries", retries,
 				"tiles_degraded", degraded, "tiles_skipped", skipped)
 		}
+		chunkSpan.Annotate("bytes", bytes)
+		chunkSpan.Annotate("stall_sec", stall)
+		chunkSpan.Annotate("buffer_sec", buffer)
+		chunkSpan.Annotate("throughput_bps", thr)
+		chunkSpan.End()
 	}
 	if instrumented {
 		cfg.Obs.Gauge("pano_client_session_pspnr_db",

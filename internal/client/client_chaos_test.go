@@ -73,8 +73,17 @@ func TestStreamRetryThenSucceed(t *testing.T) {
 	if status := summaryStatus(t, el); status != "ok" {
 		t.Errorf("summary status %q, want ok", status)
 	}
-	if got := reg.CounterValue("pano_client_tile_retries_total"); got != float64(res.TotalRetries) {
+	if got := reg.CounterSum("pano_client_tile_retries_total"); got != float64(res.TotalRetries) {
 		t.Errorf("retries counter %v, result has %d", got, res.TotalRetries)
+	}
+	// Satellite fix: retry events carry an error class, not a raw error
+	// string, and the counter is labeled by the same class.
+	if e, ok := el.Last("tile_retry"); !ok || e.Str("class") != "http_5xx" {
+		t.Errorf("tile_retry event class = %q, want http_5xx", e.Str("class"))
+	}
+	if got := reg.CounterValue("pano_client_tile_retries_total",
+		obs.L("class", "http_5xx")); got != float64(res.TotalRetries) {
+		t.Errorf("class-labeled retries counter %v, result has %d", got, res.TotalRetries)
 	}
 }
 

@@ -26,7 +26,7 @@ var (
 	fx     fixtureT
 )
 
-func fixture(t *testing.T) *fixtureT {
+func fixture(t testing.TB) *fixtureT {
 	t.Helper()
 	fxOnce.Do(func() {
 		v := scene.Generate(scene.Tourism, 41, scene.Options{W: 240, H: 120, FPS: 10, DurationSec: 3})

@@ -4,12 +4,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
+	"net"
+	"strings"
+	"syscall"
 	"time"
 
 	"pano/internal/codec"
 	"pano/internal/mathx"
 	"pano/internal/obs"
+	"pano/internal/trace"
 )
 
 // StatusError reports a non-200 response from the server. 5xx responses
@@ -130,6 +135,55 @@ func retryable(err error) bool {
 	return true
 }
 
+// errorClass buckets a fetch error into a low-cardinality class, so
+// retry events and counters aggregate cleanly under chaos instead of
+// exploding into raw error strings:
+//
+//	timeout    — the attempt deadline expired (or the transport timed out)
+//	http_5xx   — a retryable server answer
+//	http_4xx   — a final server answer (the request itself is wrong)
+//	conn_reset — the connection died (reset, refused, broken pipe, EOF)
+//	truncated  — a short or corrupt body (length/header mismatch)
+//	other      — anything else
+func errorClass(err error) string {
+	if err == nil {
+		return ""
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		if se.Code >= 500 {
+			return "http_5xx"
+		}
+		return "http_4xx"
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "timeout"
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return "timeout"
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return "truncated"
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, io.EOF) {
+		return "conn_reset"
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "short object") || strings.Contains(msg, "header chunk mismatch") ||
+		strings.Contains(msg, "header tile mismatch"):
+		return "truncated"
+	case strings.Contains(msg, "connection reset") || strings.Contains(msg, "broken pipe") ||
+		strings.Contains(msg, "EOF"):
+		return "conn_reset"
+	case strings.Contains(msg, "timeout") || strings.Contains(msg, "deadline"):
+		return "timeout"
+	}
+	return "other"
+}
+
 // sleepCtx waits d or until ctx is done, returning ctx.Err() in the
 // latter case.
 func sleepCtx(ctx context.Context, d time.Duration) error {
@@ -149,23 +203,30 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // fetchInstruments are the per-session obs handles of the resilient
 // pipeline (all nil-safe).
 type fetchInstruments struct {
+	reg      *obs.Registry
 	attempts *obs.Histogram // pano_client_tile_attempt_seconds
-	retries  *obs.Counter   // pano_client_tile_retries_total
 	degraded *obs.Counter   // pano_client_tiles_degraded_total
 	skipped  *obs.Counter   // pano_client_tiles_skipped_total
 }
 
 func newFetchInstruments(reg *obs.Registry) fetchInstruments {
 	return fetchInstruments{
+		reg: reg,
 		attempts: reg.Histogram("pano_client_tile_attempt_seconds",
 			"per-attempt tile download latency (including failed attempts)", nil),
-		retries: reg.Counter("pano_client_tile_retries_total",
-			"failed tile fetch attempts that were retried or degraded"),
 		degraded: reg.Counter("pano_client_tiles_degraded_total",
 			"tiles delivered at the lowest level after planned-level failures"),
 		skipped: reg.Counter("pano_client_tiles_skipped_total",
 			"tiles abandoned after the full degradation ladder"),
 	}
+}
+
+// retry counts one failed attempt under its error class, so chaos runs
+// aggregate by failure mode instead of raw error strings.
+func (ins fetchInstruments) retry(class string) {
+	ins.reg.Counter("pano_client_tile_retries_total",
+		"failed tile fetch attempts that were retried or degraded, by error class",
+		obs.L("class", class)).Inc()
 }
 
 // tileFetch is the outcome of the degradation ladder for one tile.
@@ -186,9 +247,33 @@ type tileFetch struct {
 // the lowest level, then a skip. It returns an error only when the
 // session context itself is canceled; every server-side failure mode
 // resolves to a degraded or skipped outcome so the session continues.
+//
+// When ctx carries a trace span, the tile gets a "tile_fetch" child
+// span and every attempt its own "attempt" span — annotated with the
+// ladder rung, the buffer-derived deadline, the backoff that follows a
+// failure, and the failure's error class — so a late chunk decomposes
+// into exactly which attempt stalled and why.
 func (c *Client) fetchTileResilient(ctx context.Context, k, ti int, planned codec.Level,
 	pol FetchPolicy, bufferSec float64, startup bool, rng *mathx.RNG,
-	ins fetchInstruments, sess *slog.Logger) (tileFetch, error) {
+	ins fetchInstruments, sess *slog.Logger) (outF tileFetch, outErr error) {
+
+	ctx, tspan := trace.StartSpan(ctx, "tile_fetch",
+		trace.A("tile", ti), trace.A("planned_level", int(planned)))
+	defer func() {
+		tspan.Annotate("retries", outF.retries)
+		tspan.Annotate("level", int(outF.level))
+		switch {
+		case outErr != nil:
+			tspan.SetError("canceled")
+		case outF.skipped:
+			tspan.Annotate("outcome", "skipped")
+		case outF.degraded:
+			tspan.Annotate("outcome", "degraded")
+		default:
+			tspan.Annotate("outcome", "ok")
+		}
+		tspan.End()
+	}()
 
 	out := tileFetch{level: planned}
 	lowest := codec.Level(codec.NumLevels - 1)
@@ -200,13 +285,17 @@ func (c *Client) fetchTileResilient(ctx context.Context, k, ti int, planned code
 	for ri, lv := range rungs {
 		for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 			timeout := pol.attemptTimeout(bufferSec, startup)
-			actx, cancel := context.WithTimeout(ctx, timeout)
+			actx, aspan := trace.StartSpan(ctx, "attempt",
+				trace.A("attempt", attempt+1), trace.A("rung", ri), trace.A("level", int(lv)),
+				trace.A("deadline_sec", timeout.Seconds()))
+			actx, cancel := context.WithTimeout(actx, timeout)
 			t0 := time.Now()
 			data, err := c.FetchTile(actx, k, ti, lv)
 			d := time.Since(t0)
 			cancel()
-			ins.attempts.Observe(d.Seconds())
+			ins.attempts.ObserveExemplar(d.Seconds(), aspan.TraceHex())
 			if err == nil {
+				aspan.End()
 				out.data, out.level, out.goodput = data, lv, d
 				if ri > 0 {
 					out.degraded = true
@@ -217,22 +306,32 @@ func (c *Client) fetchTileResilient(ctx context.Context, k, ti int, planned code
 				}
 				return out, nil
 			}
+			class := errorClass(err)
+			aspan.SetError(class)
 			if ctx.Err() != nil {
 				// The session itself was canceled (or hit its overall
 				// deadline): propagate instead of degrading.
+				aspan.End()
 				return out, err
 			}
 			lastErr = err
 			out.retries++
-			ins.retries.Inc()
+			ins.retry(class)
 			sess.Debug("tile_retry",
 				"chunk", k, "tile", ti, "level", int(lv), "attempt", attempt+1,
-				"timeout_sec", timeout.Seconds(), "error", err.Error())
+				"timeout_sec", timeout.Seconds(), "class", class)
 			if !retryable(err) {
+				aspan.End()
 				break // this rung is hopeless; drop a level
 			}
+			var backoff time.Duration
 			if attempt < pol.MaxAttempts-1 {
-				if err := sleepCtx(ctx, pol.backoff(attempt, rng)); err != nil {
+				backoff = pol.backoff(attempt, rng)
+				aspan.Annotate("backoff_sec", backoff.Seconds())
+			}
+			aspan.End()
+			if backoff > 0 {
+				if err := sleepCtx(ctx, backoff); err != nil {
 					return out, err
 				}
 			}
@@ -242,7 +341,7 @@ func (c *Client) fetchTileResilient(ctx context.Context, k, ti int, planned code
 	ins.skipped.Inc()
 	sess.Warn("tile_skipped",
 		"chunk", k, "tile", ti, "planned_level", int(planned),
-		"retries", out.retries, "error", errString(lastErr))
+		"retries", out.retries, "class", errorClass(lastErr), "error", errString(lastErr))
 	return out, nil
 }
 

@@ -42,6 +42,7 @@ var registry = map[string]Runner{
 	"crossuser": tableOnly3(CrossUserPrediction),
 	"parallel":  tableOnly3(ParallelBench),
 	"chaos":     tableOnly3(ChaosBench),
+	"trace":     tableOnly3(TraceBench),
 	"tab2": func(d *Dataset) (*Table, error) {
 		return Table2(d), nil
 	},

@@ -46,7 +46,41 @@
 //	    endpoint and kind (error, abort, truncate, stall, latency,
 //	    throttle).
 //
-// Wiring: internal/server mounts /metrics; internal/client.Stream,
-// internal/sim.Run, internal/abr, and internal/player accept a
-// *Registry (nil = off); cmd/pano-server adds optional net/http/pprof.
+// The companion span tracer (internal/trace, same nil-is-off
+// contract) shares this taxonomy: where a metric aggregates, a span
+// tree shows one session's actual timeline. Span names map to the
+// paper as:
+//
+//	session, chunk
+//	    one playback session and its per-chunk download loop — the unit
+//	    of every per-chunk metric above.
+//	estimate, mpc, assign
+//	    the §6.1 client decision pipeline: bandwidth/viewpoint
+//	    estimation, the MPC chunk-level bitrate decision
+//	    (pano_abr_decision_seconds is this span aggregated), and the
+//	    tile-level quality allocation (pano_planner_plan_seconds).
+//	fetch, tile_fetch, attempt
+//	    the §7 transport: the chunk's tile downloads, one tile's trip
+//	    down the retry/degrade/skip ladder, and each HTTP try —
+//	    annotated with rung, deadline, backoff, and error class
+//	    (pano_client_tile_attempt_seconds aggregates attempts; its
+//	    exemplars point back at these traces).
+//	stitch
+//	    §7's stitch-and-score step (the est_pspnr_db annotation feeds
+//	    pano_client_est_pspnr_db).
+//	http_request
+//	    the §6.2 server's handler span, stitched into the client's
+//	    trace via the W3C traceparent header and annotated with any
+//	    chaos-injected fault (pano_http_request_seconds aggregates it).
+//
+// Histograms accept an optional exemplar per observation
+// (ObserveExemplar): the trace ID of the most recent observation in
+// each bucket, rendered as "# exemplar" comment lines alongside the
+// Prometheus exposition, linking a latency bucket to a concrete trace
+// at /debug/traces.
+//
+// Wiring: internal/server mounts /metrics, /debug/events, and
+// /debug/traces; internal/client.Stream, internal/sim.Run,
+// internal/abr, and internal/player accept a *Registry (nil = off);
+// cmd/pano-server adds optional net/http/pprof.
 package obs

@@ -173,6 +173,29 @@ func (r *Registry) GaugeValue(name string, labels ...Label) float64 {
 	return 0
 }
 
+// CounterSum sums every series of a counter family — the family total
+// across label values (0 when the family does not exist). Useful when a
+// counter gained a label (e.g. error class) but tests or dashboards
+// still want the aggregate.
+func (r *Registry) CounterSum(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil || f.typ != counterType {
+		return 0
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var sum float64
+	for _, e := range f.series {
+		sum += e.counter.Value()
+	}
+	return sum
+}
+
 // HistogramCount reads a histogram's observation count (0 when absent).
 func (r *Registry) HistogramCount(name string, labels ...Label) uint64 {
 	if e := r.lookup(name, labels); e != nil && e.hist != nil {
@@ -257,18 +280,37 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Histogram is a fixed-bucket cumulative histogram. Nil-safe.
+// Histogram is a fixed-bucket cumulative histogram. Nil-safe. Each
+// bucket can additionally hold one exemplar — the trace id of the most
+// recent observation that landed in it — so a spiking latency bucket
+// links straight to an offending trace (see ObserveExemplar).
 type Histogram struct {
-	upper   []float64 // sorted upper bounds, excluding +Inf
-	counts  []atomic.Uint64
-	sumBits atomic.Uint64
-	total   atomic.Uint64
+	upper     []float64 // sorted upper bounds, excluding +Inf
+	counts    []atomic.Uint64
+	sumBits   atomic.Uint64
+	total     atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar] // len(upper)+1; last is +Inf
 }
 
 func newHistogram(buckets []float64) *Histogram {
 	up := append([]float64(nil), buckets...)
 	sort.Float64s(up)
-	return &Histogram{upper: up, counts: make([]atomic.Uint64, len(up))}
+	return &Histogram{
+		upper:     up,
+		counts:    make([]atomic.Uint64, len(up)),
+		exemplars: make([]atomic.Pointer[Exemplar], len(up)+1),
+	}
+}
+
+// bucketIndex returns the index of the bucket v falls in; len(upper)
+// means the implicit +Inf bucket.
+func (h *Histogram) bucketIndex(v float64) int {
+	for i, ub := range h.upper {
+		if v <= ub {
+			return i
+		}
+	}
+	return len(h.upper)
 }
 
 // Observe records one sample.
@@ -276,14 +318,70 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	for i, ub := range h.upper {
-		if v <= ub {
-			h.counts[i].Add(1)
-			break
-		}
+	if i := h.bucketIndex(v); i < len(h.upper) {
+		h.counts[i].Add(1)
 	}
 	h.total.Add(1)
 	addFloat(&h.sumBits, v)
+}
+
+// Exemplar links one histogram bucket to the trace that produced its
+// most recent observation.
+type Exemplar struct {
+	// LE is the bucket's upper bound (+Inf for the overflow bucket).
+	LE float64
+	// Value is the observed sample.
+	Value float64
+	// TraceID is the hex trace id of the observation's trace.
+	TraceID string
+}
+
+// ObserveExemplar records one sample and attaches traceID as the
+// observation's exemplar in the bucket it lands in (last write wins per
+// bucket, so slow buckets always point at a recent slow trace). An
+// empty traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := h.bucketIndex(v)
+	if i < len(h.upper) {
+		h.counts[i].Add(1)
+	}
+	h.total.Add(1)
+	addFloat(&h.sumBits, v)
+	if traceID == "" {
+		return
+	}
+	le := math.Inf(1)
+	if i < len(h.upper) {
+		le = h.upper[i]
+	}
+	h.exemplars[i].Store(&Exemplar{LE: le, Value: v, TraceID: traceID})
+}
+
+// Exemplars returns the buckets' current exemplars (only buckets that
+// have one), ordered by upper bound.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// HistogramExemplars reads a histogram series' bucket exemplars (nil
+// when the series does not exist or holds none).
+func (r *Registry) HistogramExemplars(name string, labels ...Label) []Exemplar {
+	if e := r.lookup(name, labels); e != nil && e.hist != nil {
+		return e.hist.Exemplars()
+	}
+	return nil
 }
 
 // Count returns the number of observations.
@@ -387,6 +485,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, renderLabels(e.labels, &le), h.Count())
 				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, renderLabels(e.labels, nil), fmtFloat(h.Sum()))
 				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, renderLabels(e.labels, nil), h.Count())
+				// Exemplars ride along as comments (OpenMetrics-style
+				// payload, but a 0.0.4-safe line: plain-text parsers skip
+				// any # line that is not HELP/TYPE).
+				for _, ex := range h.Exemplars() {
+					exLE := Label{Key: "le", Value: fmtFloat(ex.LE)}
+					fmt.Fprintf(&b, "# exemplar %s_bucket%s trace_id=%q %s\n",
+						f.name, renderLabels(e.labels, &exLE), ex.TraceID, fmtFloat(ex.Value))
+				}
 			}
 		}
 		f.mu.RUnlock()

@@ -1,9 +1,12 @@
 package player
 
 import (
+	"context"
+
 	"pano/internal/abr"
 	"pano/internal/manifest"
 	"pano/internal/obs"
+	"pano/internal/trace"
 )
 
 // instrumentedPlanner wraps a Planner with per-call timing and
@@ -37,5 +40,42 @@ func (ip *instrumentedPlanner) Plan(m *manifest.Video, k int, view ChunkView, bu
 	a := ip.Planner.Plan(m, k, view, budget)
 	t.ObserveDuration()
 	ip.plans.Inc()
+	return a
+}
+
+// PlanCtx is Plan under a context: the per-tile quality assignment runs
+// inside a child "assign" span of the context's chunk span (§6.1's
+// PSPNR assignment step), and the latency observation carries the trace
+// id as an exemplar so a slow assignment bucket links to its trace.
+func (ip *instrumentedPlanner) PlanCtx(ctx context.Context, m *manifest.Video, k int, view ChunkView, budget float64) abr.Allocation {
+	_, sp := trace.StartSpan(ctx, "assign",
+		trace.A("planner", ip.Planner.Name()), trace.A("budget_bits", budget))
+	t := obs.NewTimer(nil)
+	a := ip.Planner.Plan(m, k, view, budget)
+	d := t.ObserveDuration()
+	sp.Annotate("tiles", len(a))
+	sp.End()
+	ip.lat.ObserveExemplar(d.Seconds(), sp.TraceHex())
+	ip.plans.Inc()
+	return a
+}
+
+// ctxPlanner is the optional context-carrying planner surface.
+type ctxPlanner interface {
+	PlanCtx(ctx context.Context, m *manifest.Video, k int, view ChunkView, budget float64) abr.Allocation
+}
+
+// PlanWithContext routes a Plan call through the planner's PlanCtx when
+// it has one (the instrumented wrapper does), so the allocation is
+// traced and exemplar-linked; otherwise it wraps the plain Plan in an
+// "assign" span itself. Behaviour is identical either way.
+func PlanWithContext(ctx context.Context, p Planner, m *manifest.Video, k int, view ChunkView, budget float64) abr.Allocation {
+	if cp, ok := p.(ctxPlanner); ok {
+		return cp.PlanCtx(ctx, m, k, view, budget)
+	}
+	_, sp := trace.StartSpan(ctx, "assign", trace.A("planner", p.Name()), trace.A("budget_bits", budget))
+	a := p.Plan(m, k, view, budget)
+	sp.Annotate("tiles", len(a))
+	sp.End()
 	return a
 }

@@ -8,6 +8,7 @@ package server
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"math"
 	"net/http"
@@ -18,13 +19,15 @@ import (
 	"pano/internal/codec"
 	"pano/internal/manifest"
 	"pano/internal/obs"
+	"pano/internal/trace"
 )
 
 // Server serves one video.
 type Server struct {
-	man *manifest.Video
-	reg *obs.Registry
-	log *obs.EventLog
+	man    *manifest.Video
+	reg    *obs.Registry
+	log    *obs.EventLog
+	tracer *trace.Tracer
 }
 
 // Option configures a Server.
@@ -42,6 +45,15 @@ func WithObs(reg *obs.Registry) Option {
 // default.
 func WithEventLog(l *obs.EventLog) Option {
 	return func(s *Server) { s.log = l }
+}
+
+// WithTracer attaches a span tracer: handler spans opened by
+// trace.Middleware (which callers should wrap OUTSIDE any chaos or
+// other middleware so those can annotate the active span) get annotated
+// with endpoint, status, and bytes here, and finished traces become
+// browsable at /debug/traces on Handler. nil is the no-op default.
+func WithTracer(t *trace.Tracer) Option {
+	return func(s *Server) { s.tracer = t }
 }
 
 // New validates the manifest and returns a server for it.
@@ -69,6 +81,10 @@ func New(m *manifest.Video, opts ...Option) (*Server, error) {
 //	GET /manifest.mpd    — DASH MPD projection (SRD-tiled, multi-period)
 //	GET /video/{chunk}/{tile}/{level}.bin
 //	GET /metrics         — Prometheus exposition (only with WithObs)
+//	GET /debug/events    — the event-log ring buffer as a JSON array
+//	                       (only with WithEventLog)
+//	GET /debug/traces    — finished traces as Chrome trace-event JSON
+//	                       (only with WithTracer; ?trace=<hex id> for one)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/manifest.json", s.instrument("manifest", s.handleManifest))
@@ -77,7 +93,42 @@ func (s *Server) Handler() http.Handler {
 	if s.reg != nil {
 		mux.Handle("/metrics", s.reg.Handler())
 	}
+	if s.log != nil {
+		mux.HandleFunc("/debug/events", s.handleEvents)
+	}
+	if s.tracer != nil {
+		mux.Handle("/debug/traces", s.tracer.Handler())
+	}
 	return mux
+}
+
+// handleEvents serves the event-log ring buffer, oldest first, as a
+// JSON array of {time, level, msg, attrs} objects — a zero-dependency
+// peek at recent server activity without scraping stderr.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if !allowGetHead(w, r) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if r.Method == http.MethodHead {
+		return
+	}
+	evs := s.log.Events()
+	type jsonEvent struct {
+		Time  time.Time      `json:"time"`
+		Level string         `json:"level"`
+		Msg   string         `json:"msg"`
+		Attrs map[string]any `json:"attrs,omitempty"`
+	}
+	out := make([]jsonEvent, len(evs))
+	for i, e := range evs {
+		out[i] = jsonEvent{Time: e.Time, Level: e.Level.String(), Msg: e.Msg, Attrs: e.Attrs}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		s.writeError("events", err)
+	}
 }
 
 // statusWriter captures the response code and body size for metrics.
@@ -99,10 +150,13 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 }
 
 // instrument wraps a handler with per-endpoint request counting,
-// latency, served-bytes accounting, and structured request logging.
-// With no registry and no log attached it returns h untouched.
+// latency, served-bytes accounting, structured request logging, and —
+// when a trace.Middleware upstream opened a handler span — span
+// annotation plus an exemplar linking the latency observation to its
+// trace. With no registry, log, or tracer attached it returns h
+// untouched.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
-	if s.reg == nil && s.log == nil {
+	if s.reg == nil && s.log == nil && s.tracer == nil {
 		return h
 	}
 	lat := s.reg.Histogram("pano_http_request_seconds",
@@ -112,7 +166,14 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		start := time.Now()
 		h(sw, r)
 		dur := time.Since(start)
-		lat.Observe(dur.Seconds())
+		sp := trace.FromContext(r.Context())
+		sp.Annotate("endpoint", endpoint)
+		sp.Annotate("code", sw.code)
+		sp.Annotate("bytes", sw.bytes)
+		if sw.code >= 500 {
+			sp.SetError("http_5xx")
+		}
+		lat.ObserveExemplar(dur.Seconds(), sp.TraceHex())
 		s.reg.Counter("pano_http_requests_total", "HTTP requests by endpoint, method, and status",
 			obs.L("endpoint", endpoint), obs.L("method", r.Method),
 			obs.L("code", strconv.Itoa(sw.code))).Inc()

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pano/internal/obs"
+	"pano/internal/trace"
+)
+
+func TestDebugEventsEndpoint(t *testing.T) {
+	el := obs.NewEventLog(nil, 0)
+	el.Logger().Info("server_started", "addr", ":0")
+	s, err := New(testManifest(t), WithEventLog(el))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var evs []struct {
+		Level string         `json:"level"`
+		Msg   string         `json:"msg"`
+		Attrs map[string]any `json:"attrs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+		t.Fatalf("not a JSON array: %v", err)
+	}
+	var found bool
+	for _, e := range evs {
+		if e.Msg == "server_started" && e.Level == "INFO" && e.Attrs["addr"] == ":0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("logged event missing from /debug/events: %+v", evs)
+	}
+
+	// Same method contract as the other endpoints.
+	post, err := http.Post(ts.URL+"/debug/events", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed || post.Header.Get("Allow") != "GET, HEAD" {
+		t.Errorf("POST: status=%d Allow=%q", post.StatusCode, post.Header.Get("Allow"))
+	}
+	head, err := http.Head(ts.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	head.Body.Close()
+	if head.StatusCode != http.StatusOK {
+		t.Errorf("HEAD status = %d", head.StatusCode)
+	}
+}
+
+func TestDebugTracesEndpointMounted(t *testing.T) {
+	tracer := trace.New(trace.Config{Seed: 1})
+	_, sp := tracer.Start(context.Background(), "session")
+	sp.End()
+	s, err := New(testManifest(t), WithTracer(tracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if n, err := trace.ValidateChromeTrace(data); err != nil || n != 1 {
+		t.Errorf("served trace invalid: n=%d err=%v", n, err)
+	}
+}
+
+// Without the options the debug endpoints are not mounted at all.
+func TestDebugEndpointsAbsentByDefault(t *testing.T) {
+	s, err := New(testManifest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/debug/events", "/debug/traces"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s status = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -25,6 +26,7 @@ import (
 	"pano/internal/player"
 	"pano/internal/quality"
 	"pano/internal/scene"
+	"pano/internal/trace"
 	"pano/internal/viewport"
 )
 
@@ -73,6 +75,11 @@ type Config struct {
 	// Log receives structured per-chunk and session-summary events;
 	// nil disables them.
 	Log *obs.EventLog
+	// Trace, when set, records the session as a span tree with the same
+	// taxonomy as the HTTP client — session → chunk → {estimate, mpc,
+	// assign, fetch, stitch} — so simulated and real sessions decompose
+	// identically in Perfetto. nil disables tracing at zero cost.
+	Trace *trace.Tracer
 }
 
 // DefaultConfig returns a 2 s buffer target session.
@@ -124,6 +131,9 @@ type Result struct {
 	// off).
 	DegradedTiles int
 	SkippedTiles  int
+	// TraceID is the hex id of the session's trace when Config.Trace is
+	// set and the session was sampled ("" otherwise).
+	TraceID string
 }
 
 // MOS returns the Table 3 opinion-score band of the session quality.
@@ -177,16 +187,28 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 	sess := cfg.Log.Session(
 		"system", pl.Name(), "video", m.Name,
 		"chunks", m.NumChunks(), "tiles", len(m.Chunks[0].Tiles))
+	ctx, sessSpan := cfg.Trace.Start(context.Background(), "session",
+		trace.A("component", "sim"), trace.A("planner", pl.Name()),
+		trace.A("video", m.Name))
+	res.TraceID = sessSpan.TraceHex()
 	var wall, buffer float64
 	prevLevel := codec.Level(-1)
 	chunkSec := m.ChunkSec
 
 	for k := 0; k < m.NumChunks(); k++ {
+		cctx, chunkSpan := trace.StartSpan(ctx, "chunk", trace.A("chunk", k))
 		nowMedia := math.Max(0, float64(k)*chunkSec-buffer)
+
+		// Phase: bandwidth + viewpoint estimation (the client's view of
+		// the world; the possibly-noisy trace, §8.3).
+		_, eSpan := trace.StartSpan(cctx, "estimate")
+		pred := bw.Predict()
+		view := est.View(m, clientTrace, k, nowMedia)
+		eSpan.Annotate("pred_bps", pred)
+		eSpan.End()
 
 		// Chunk-level bitrate via MPC.
 		var budget float64
-		pred := bw.Predict()
 		if pred == 0 {
 			// Cold start: lowest level.
 			budget = m.ChunkBits(k, codec.Level(codec.NumLevels-1))
@@ -211,7 +233,7 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 				}
 				horizon = append(horizon, p)
 			}
-			lv := ctrl.PickLevel(buffer, pred, chunkSec, prevLevel, horizon)
+			lv := pickLevelCtx(cctx, ctrl, buffer, pred, chunkSec, prevLevel, horizon)
 			budget = m.ChunkBits(k, lv)
 			prevLevel = lv
 			// The level menu is coarse; fill the remaining predicted
@@ -224,8 +246,12 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 		}
 
 		// Tile-level allocation on the client's (possibly noisy) view.
-		view := est.View(m, clientTrace, k, nowMedia)
-		alloc := pl.Plan(m, k, view, budget)
+		alloc := player.PlanWithContext(cctx, pl, m, k, view, budget)
+
+		// Phase: the simulated "fetch" — transport losses plus the
+		// link-model download. Wall time here is trivial; the simulated
+		// outcome rides on the span as annotations.
+		_, fSpan := trace.StartSpan(cctx, "fetch")
 
 		// Transport losses: walk the ladder per tile (degrade to lowest,
 		// then skip). Delivered levels and the stale mask drive both the
@@ -275,10 +301,17 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 			buffer = cfg.MaxBufferSec
 		}
 		res.TotalBits += bits
+		fSpan.Annotate("bits", bits)
+		fSpan.Annotate("download_sec", dl)
+		fSpan.Annotate("tiles_degraded", degraded)
+		fSpan.Annotate("tiles_skipped", skippedNow)
+		fSpan.End()
 
-		// Score delivered and estimated quality. The estimate uses the
-		// client's best-guess view (Figure 16a measures this gap); the
-		// allocation above used the conservative view.
+		// Phase: stitch + quality scoring of the delivered frame.
+		// The estimate uses the client's best-guess view (Figure 16a
+		// measures this gap); the allocation above used the conservative
+		// view.
+		_, sSpan := trace.StartSpan(cctx, "stitch")
 		guess := est.BestGuessView(m, clientTrace, k, nowMedia)
 		var score float64
 		if cfg.Scene != nil {
@@ -293,6 +326,8 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 		// The client's plan-time estimate predates any transport loss, so
 		// it scores the planned allocation.
 		estimated := player.FramePSPNR(m, k, alloc, guess, cfg.Profile)
+		sSpan.Annotate("pspnr_db", score)
+		sSpan.End()
 		res.PerChunkPSPNR = append(res.PerChunkPSPNR, score)
 		res.PerChunkEstPSPNR = append(res.PerChunkEstPSPNR, estimated)
 		res.PerChunkAlloc = append(res.PerChunkAlloc, delivered)
@@ -301,7 +336,7 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 		chunksTotal.Inc()
 		rebufTotal.Add(stall)
 		bitsTotal.Add(bits)
-		dlSeconds.Observe(dl)
+		dlSeconds.ObserveExemplar(dl, chunkSpan.TraceHex())
 		bufGauge.Set(buffer)
 		if cfg.Obs != nil {
 			cfg.Obs.Counter("pano_sim_level_decisions_total",
@@ -313,6 +348,10 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 			"download_sec", dl, "stall_sec", stall, "buffer_sec", buffer,
 			"pspnr_db", score, "est_pspnr_db", estimated,
 			"tiles_degraded", degraded, "tiles_skipped", skippedNow)
+		chunkSpan.Annotate("bits", bits)
+		chunkSpan.Annotate("stall_sec", stall)
+		chunkSpan.Annotate("buffer_sec", buffer)
+		chunkSpan.End()
 	}
 
 	dur := m.DurationSec()
@@ -324,6 +363,10 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 	res.BufferingRatio = 100 * res.StallSec / (dur + res.StallSec)
 	res.BandwidthMbps = res.TotalBits / dur / 1e6
 
+	sessSpan.Annotate("mean_pspnr_db", res.MeanPSPNR)
+	sessSpan.Annotate("chunks", len(res.PerChunkPSPNR))
+	sessSpan.Annotate("stall_sec", res.StallSec)
+	sessSpan.End()
 	cfg.Obs.Gauge("pano_sim_session_pspnr_db", "session mean viewport PSPNR").Set(res.MeanPSPNR)
 	cfg.Obs.Gauge("pano_sim_session_mos", "Table 3 opinion-score band of the session").Set(float64(res.MOS()))
 	sess.Info("session_summary",
@@ -333,6 +376,22 @@ func Run(m *manifest.Video, tr *viewport.Trace, link *nettrace.Link, pl player.P
 		"total_bits", res.TotalBits,
 		"tiles_degraded", res.DegradedTiles, "tiles_skipped", res.SkippedTiles)
 	return res, nil
+}
+
+// pickLevelCtx routes the chunk-level decision through the controller's
+// PickLevelCtx when it has one (the MPC does, opening its own "mpc"
+// span); plain controllers get wrapped in an "mpc" span here so the
+// decision phase always appears in the trace.
+func pickLevelCtx(ctx context.Context, c abr.Controller, bufferSec, predBWbps, chunkSec float64, prev codec.Level, horizon []abr.ChunkPlan) codec.Level {
+	if cc, ok := c.(abr.ContextController); ok {
+		return cc.PickLevelCtx(ctx, bufferSec, predBWbps, chunkSec, prev, horizon)
+	}
+	_, sp := trace.StartSpan(ctx, "mpc",
+		trace.A("buffer_sec", bufferSec), trace.A("pred_bps", predBWbps))
+	lv := c.PickLevel(bufferSec, predBWbps, chunkSec, prev, horizon)
+	sp.Annotate("level", int(lv))
+	sp.End()
+	return lv
 }
 
 func allocBits(m *manifest.Video, k int, a abr.Allocation) float64 {

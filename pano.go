@@ -17,6 +17,7 @@ package pano
 
 import (
 	"io"
+	"net/http"
 
 	"pano/internal/chaos"
 	"pano/internal/jnd"
@@ -29,6 +30,7 @@ import (
 	"pano/internal/scene"
 	"pano/internal/server"
 	"pano/internal/sim"
+	"pano/internal/trace"
 	"pano/internal/viewport"
 
 	panoclient "pano/internal/client"
@@ -98,6 +100,18 @@ type (
 	// PSPNR scoring stops recomputing C(i,j). Hit/miss/eviction
 	// counters register in the obs registry it was built with.
 	JNDFieldCache = jnd.FieldCache
+	// Tracer records streaming sessions as span trees (session → chunk →
+	// estimate/mpc/assign/fetch/stitch, plus per-tile fetch attempts and
+	// server-side handler spans stitched over the W3C traceparent
+	// header). Pass it via SimConfig.Trace, StreamConfig.Trace, or
+	// server.WithTracer; nil disables tracing at zero cost.
+	Tracer = trace.Tracer
+	// TracerConfig tunes a Tracer (sampling, store bounds, obs/event-log
+	// sinks).
+	TracerConfig = trace.Config
+	// TraceData is one finished trace (all spans, cloned out of the
+	// store).
+	TraceData = trace.TraceData
 )
 
 // NewJNDFieldCache returns a content-JND field cache holding at most
@@ -223,3 +237,19 @@ func NewChaosInjector(p ChaosProfile, reg *Metrics) *ChaosInjector {
 // ParseChaos parses the compact comma-separated chaos spec used by the
 // pano-server -chaos flag, e.g. "seed=7,tile-error=0.1,tile-latency=20ms".
 func ParseChaos(spec string) (ChaosProfile, error) { return chaos.Parse(spec) }
+
+// NewTracer returns a span tracer. The zero TracerConfig samples every
+// trace and keeps the most recent 64 in memory.
+func NewTracer(cfg TracerConfig) *Tracer { return trace.New(cfg) }
+
+// TraceHTTP wraps an http.Handler so requests carrying a W3C
+// traceparent header (injected by a traced Client) get a server-side
+// handler span in the same trace. Wrap it OUTSIDE chaos middleware so
+// injected faults annotate the handler span.
+func TraceHTTP(t *Tracer, next http.Handler) http.Handler { return trace.Middleware(t, next) }
+
+// WriteChromeTrace renders finished traces (Tracer.Traces) as Chrome
+// trace-event JSON, loadable in Perfetto or chrome://tracing.
+func WriteChromeTrace(w io.Writer, traces ...*TraceData) error {
+	return trace.WriteChromeTrace(w, traces...)
+}
