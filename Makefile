@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmt race race-kernels chaos trace bench microbench clean
+.PHONY: build test check vet fmt race race-kernels chaos trace edge bench microbench clean
 
 build:
 	$(GO) build ./...
@@ -50,7 +50,15 @@ chaos:
 trace:
 	$(GO) run ./cmd/pano-bench -scale quick trace
 
-check: vet fmt race race-kernels chaos trace
+# The edge cache tier: the coalescing/prefetch suites under the race
+# detector (stampede stress: N concurrent misses, exactly one origin
+# fetch), then the origin-offload experiment (20 concurrent overlapping
+# sessions direct vs via edge; lands in BENCH_edge.json).
+edge:
+	$(GO) test -race ./internal/edge ./internal/graceful -count 1
+	$(GO) run ./cmd/pano-bench -scale quick edge
+
+check: vet fmt race race-kernels chaos trace edge
 
 # Quick-scale paper evaluation; writes BENCH_<id>.json files.
 bench: build microbench

@@ -8,10 +8,13 @@
 // With no ids, every experiment runs in order. Ids match DESIGN.md §3:
 // fig1 fig3 fig4 fig6 fig7 fig8 fig10 fig13 fig14 fig15 fig16a fig16b
 // fig16c fig16d fig17a fig17b fig17c fig18a fig18b tab2 tab3 lut prune,
-// plus the extensions joint3, crossuser, parallel, and chaos (streaming
+// plus the extensions joint3, crossuser, parallel, chaos (streaming
 // under scripted fault profiles — abort rate, retries, degraded/skipped
-// tile fractions, mean PSPNR — lands in BENCH_chaos.json). fig14 writes
-// its snapshot PNGs into ./fig14-out.
+// tile fractions, mean PSPNR — lands in BENCH_chaos.json), and edge
+// (20 concurrent overlapping sessions direct vs through the
+// internal/edge caching proxy — origin offload, hit ratio, coalesced
+// fetches, tile latency percentiles — lands in BENCH_edge.json). fig14
+// writes its snapshot PNGs into ./fig14-out.
 //
 // Each experiment's result is also written as machine-readable JSON to
 // BENCH_<id>.json under -json-dir (default the working directory; set

@@ -1,0 +1,150 @@
+// Command pano-edge runs the edge cache tier: a caching reverse proxy
+// between Pano clients and an origin pano-server, with request
+// coalescing, ETag revalidation, negative caching, serve-stale on
+// origin faults, and optional prediction-driven prefetch of next-chunk
+// tiles.
+//
+// Usage:
+//
+//	pano-edge -origin http://127.0.0.1:8360 [-addr :8361]
+//	          [-cache-bytes 67108864] [-ttl 60s] [-prefetch 0]
+//	          [-peer-traces a.csv,b.csv] [-chaos spec] [-trace] [-pprof]
+//
+// -cache-bytes 0 disables caching entirely: the edge becomes a
+// transparent pass-through whose responses are byte-identical to the
+// origin's. -prefetch N enables warming with a token budget of N tiles;
+// with -peer-traces the warm set follows the peers' consensus viewpoint
+// (cross-user prediction), without it the edge mirrors its own observed
+// demand one chunk ahead.
+//
+// -chaos wraps the edge's own handler in the deterministic fault
+// injector (same spec grammar as pano-server), exercising client
+// resilience against a flaky edge; a chaotic *origin* is instead
+// tolerated natively by the edge's retry ladder and serve-stale path.
+//
+// Like pano-server, the process drains in-flight responses on
+// SIGINT/SIGTERM instead of severing them.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
+	"time"
+
+	"pano/internal/chaos"
+	"pano/internal/edge"
+	"pano/internal/graceful"
+	"pano/internal/obs"
+	"pano/internal/trace"
+	"pano/internal/viewport"
+)
+
+func main() {
+	addr := flag.String("addr", ":8361", "listen address")
+	origin := flag.String("origin", "", "origin server base URL (required), e.g. http://127.0.0.1:8360")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "cache byte budget (0 = pass-through, no caching)")
+	ttl := flag.Duration("ttl", 60*time.Second, "freshness TTL for cached objects")
+	negTTL := flag.Duration("neg-ttl", 5*time.Second, "TTL for cached negative (404) answers")
+	staleFor := flag.Duration("stale-for", 5*time.Minute, "serve-stale window when the origin is faulty")
+	prefetch := flag.Int("prefetch", 0, "prefetch token budget (0 = prefetch off)")
+	peerTraces := flag.String("peer-traces", "", "comma-separated viewpoint-trace CSVs for cross-user prefetch prediction")
+	chaosSpec := flag.String("chaos", "", `fault-injection spec wrapping the edge handler ("" = off)`)
+	enableTrace := flag.Bool("trace", false, "record edge spans for traced requests (browse at /debug/traces)")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logRequests := flag.Bool("log-requests", false, "emit structured JSON log lines for edge activity")
+	flag.Parse()
+
+	if *origin == "" {
+		log.Fatal("pano-edge: -origin is required")
+	}
+	chaosProfile, err := chaos.Parse(*chaosSpec)
+	if err != nil {
+		log.Fatalf("pano-edge: %v", err)
+	}
+	var peers []*viewport.Trace
+	if *peerTraces != "" {
+		for _, path := range strings.Split(*peerTraces, ",") {
+			f, err := os.Open(strings.TrimSpace(path))
+			if err != nil {
+				log.Fatalf("pano-edge: %v", err)
+			}
+			tr, err := viewport.ParseCSV(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("pano-edge: %s: %v", path, err)
+			}
+			peers = append(peers, tr)
+		}
+	}
+
+	reg := obs.NewRegistry()
+	var evlog *obs.EventLog
+	if *logRequests {
+		evlog = obs.NewEventLog(os.Stderr, 0)
+	}
+	var tracer *trace.Tracer
+	if *enableTrace {
+		tracer = trace.New(trace.Config{Obs: reg, Log: evlog})
+	}
+
+	e, err := edge.New(edge.Config{
+		Origin:         *origin,
+		CacheBytes:     *cacheBytes,
+		TTL:            *ttl,
+		NegTTL:         *negTTL,
+		StaleFor:       *staleFor,
+		PrefetchBudget: *prefetch,
+		Peers:          peers,
+		Obs:            reg,
+		Log:            evlog,
+		Tracer:         tracer,
+	})
+	if err != nil {
+		log.Fatalf("pano-edge: %v", err)
+	}
+	defer e.Close()
+
+	handler := e.Handler()
+	if chaosProfile.Enabled() {
+		injectorOpts := []chaos.Option{chaos.WithObs(reg)}
+		if evlog != nil {
+			injectorOpts = append(injectorOpts, chaos.WithEventLog(evlog))
+		}
+		handler = chaos.New(chaosProfile, injectorOpts...).Wrap(handler)
+		log.Printf("chaos injection enabled: %s", chaosProfile)
+	}
+	if tracer != nil {
+		// Outermost, so chaos and edge lookup/fill spans stitch into the
+		// requesting client's trace.
+		handler = trace.Middleware(tracer, handler)
+		log.Printf("span tracing enabled (traces at /debug/traces)")
+	}
+	if *enablePprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof mounted at /debug/pprof/")
+	}
+
+	mode := "caching"
+	if *cacheBytes == 0 {
+		mode = "pass-through"
+	}
+	log.Printf("edge (%s) for origin %s on %s (cache %d bytes, ttl %s, prefetch budget %d, %d peer traces; metrics at /metrics)",
+		mode, *origin, *addr, *cacheBytes, *ttl, *prefetch, len(peers))
+	// Same graceful pattern as pano-server: drain in-flight responses on
+	// SIGINT/SIGTERM.
+	if err := graceful.Serve(*addr, handler, graceful.DefaultDrain); err != nil {
+		log.Fatalf("pano-edge: %v", err)
+	}
+	log.Printf("drained; bye")
+}

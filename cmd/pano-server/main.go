@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"pano/internal/chaos"
+	"pano/internal/graceful"
 	"pano/internal/manifest"
 	"pano/internal/obs"
 	"pano/internal/provider"
@@ -131,7 +132,12 @@ func main() {
 	}
 	log.Printf("serving %q (%d chunks, %d tiles/chunk) on %s (metrics at /metrics)",
 		m.Name, m.NumChunks(), len(m.Chunks[0].Tiles), *addr)
-	log.Fatal(http.ListenAndServe(*addr, handler))
+	// Graceful shutdown: SIGINT/SIGTERM drains in-flight tile responses
+	// (bounded) instead of severing them mid-body.
+	if err := graceful.Serve(*addr, handler, graceful.DefaultDrain); err != nil {
+		log.Fatalf("pano-server: %v", err)
+	}
+	log.Printf("drained; bye")
 }
 
 func parseGenre(s string) (scene.Genre, error) {

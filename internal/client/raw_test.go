@@ -1,0 +1,131 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pano/internal/mathx"
+)
+
+func rawTestPolicy() FetchPolicy {
+	return FetchPolicy{
+		MaxAttempts:    3,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     4 * time.Millisecond,
+		JitterFrac:     0.5,
+		AttemptTimeout: 2 * time.Second,
+	}
+}
+
+// TestFetchRaw304: a conditional GET whose validator still matches
+// comes back NotModified with no body — the revalidation fast path.
+func TestFetchRaw304(t *testing.T) {
+	const etag = `"cafe"`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("ETag", etag)
+		if r.Header.Get("If-None-Match") == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Write([]byte("payload"))
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+
+	res, err := c.FetchRaw(context.Background(), "/x", "", rawTestPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NotModified || string(res.Body) != "payload" || res.ETag != etag {
+		t.Fatalf("unconditional fetch: %+v", res)
+	}
+
+	res, err = c.FetchRaw(context.Background(), "/x", etag, rawTestPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NotModified {
+		t.Fatalf("matching validator should revalidate, got %+v", res)
+	}
+	if len(res.Body) != 0 {
+		t.Errorf("304 carried %d body bytes", len(res.Body))
+	}
+
+	res, err = c.FetchRaw(context.Background(), "/x", `"stale"`, rawTestPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NotModified || string(res.Body) != "payload" {
+		t.Fatalf("stale validator should refetch, got %+v", res)
+	}
+}
+
+// TestFetchRawRetriesServerErrors: 5xx answers follow the backoff
+// ladder until the origin recovers.
+func TestFetchRawRetriesServerErrors(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	res, err := New(ts.URL).FetchRaw(context.Background(), "/y", "", rawTestPolicy(), mathx.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Body) != "ok" {
+		t.Fatalf("body %q", res.Body)
+	}
+	if got := n.Load(); got != 3 {
+		t.Errorf("origin saw %d requests, want 3", got)
+	}
+}
+
+// TestFetchRawDefinitiveAnswers: 4xx is a result (cacheable by an edge
+// tier), not an error, and is never retried.
+func TestFetchRawDefinitiveAnswers(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+
+	res, err := New(ts.URL).FetchRaw(context.Background(), "/missing", "", rawTestPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", res.Status)
+	}
+	if got := n.Load(); got != 1 {
+		t.Errorf("definitive 404 was retried: origin saw %d requests", got)
+	}
+}
+
+// TestFetchRawExhaustsAttempts: a persistently failing origin yields an
+// error after exactly MaxAttempts tries.
+func TestFetchRawExhaustsAttempts(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL).FetchRaw(context.Background(), "/z", "", rawTestPolicy(), nil)
+	if err == nil {
+		t.Fatal("want error from persistent 503")
+	}
+	if got := n.Load(); got != int64(rawTestPolicy().MaxAttempts) {
+		t.Errorf("origin saw %d requests, want %d", got, rawTestPolicy().MaxAttempts)
+	}
+}

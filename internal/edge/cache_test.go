@@ -1,0 +1,138 @@
+package edge
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func ent(key string, n int) *Entry {
+	return &Entry{Key: key, Status: 200, Body: make([]byte, n), ETag: `"` + key + `"`}
+}
+
+// TestCacheLRUEviction: inserts beyond the byte budget evict the least
+// recently used entries, and a Get refreshes recency.
+func TestCacheLRUEviction(t *testing.T) {
+	// Budget for ~3 entries of 1 KiB + overhead.
+	c := NewCache(3*(1024+entryOverhead), time.Minute)
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		c.Put(ent(fmt.Sprintf("k%d", i), 1024), now, time.Minute)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len %d, want 3", c.Len())
+	}
+	// Touch k0 so k1 is the LRU victim.
+	if _, st := c.Get("k0", now); st != Fresh {
+		t.Fatalf("k0 state %v", st)
+	}
+	if n := c.Put(ent("k3", 1024), now, time.Minute); n != 1 {
+		t.Fatalf("evicted %d entries, want 1", n)
+	}
+	if _, st := c.Get("k1", now); st != Miss {
+		t.Error("k1 should have been the LRU victim")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, st := c.Get(k, now); st != Fresh {
+			t.Errorf("%s evicted unexpectedly (state %v)", k, st)
+		}
+	}
+	if c.Evictions() != 1 {
+		t.Errorf("evictions %d, want 1", c.Evictions())
+	}
+	if c.Bytes() > 3*(1024+entryOverhead) {
+		t.Errorf("cache over budget: %d bytes", c.Bytes())
+	}
+}
+
+// TestCacheByteBudgetPressure: a large insert may evict several small
+// entries, and an entry bigger than the whole budget is not cached.
+func TestCacheByteBudgetPressure(t *testing.T) {
+	c := NewCache(8<<10, time.Minute)
+	now := time.Now()
+	for i := 0; i < 8; i++ {
+		c.Put(ent(fmt.Sprintf("s%d", i), 512), now, time.Minute)
+	}
+	before := c.Len()
+	c.Put(ent("big", 6<<10), now, time.Minute)
+	if c.Bytes() > 8<<10 {
+		t.Errorf("over budget after large insert: %d", c.Bytes())
+	}
+	if c.Len() >= before+1 {
+		t.Errorf("large insert evicted nothing (len %d -> %d)", before, c.Len())
+	}
+	c.Put(ent("huge", 16<<10), now, time.Minute)
+	if _, st := c.Get("huge", now); st != Miss {
+		t.Error("entry larger than the budget must not be cached")
+	}
+}
+
+// TestCacheTTLExpiry: entries go fresh → stale → gone as time passes.
+func TestCacheTTLExpiry(t *testing.T) {
+	c := NewCache(1<<20, 500*time.Millisecond) // staleFor
+	t0 := time.Now()
+	c.Put(ent("k", 64), t0, 100*time.Millisecond)
+
+	if _, st := c.Get("k", t0.Add(50*time.Millisecond)); st != Fresh {
+		t.Fatalf("within TTL: state %v, want Fresh", st)
+	}
+	e, st := c.Get("k", t0.Add(200*time.Millisecond))
+	if st != Stale || e == nil {
+		t.Fatalf("past TTL within staleFor: state %v, want Stale", st)
+	}
+	if _, st := c.Get("k", t0.Add(time.Second)); st != Miss {
+		t.Fatalf("past staleFor: state %v, want Miss", st)
+	}
+	if c.Len() != 0 {
+		t.Error("fully expired entry should be dropped on Get")
+	}
+}
+
+// TestCacheRefresh: a 304 revalidation extends freshness without
+// reinserting the body.
+func TestCacheRefresh(t *testing.T) {
+	c := NewCache(1<<20, time.Minute)
+	t0 := time.Now()
+	c.Put(ent("k", 64), t0, 100*time.Millisecond)
+	t1 := t0.Add(200 * time.Millisecond)
+	if _, st := c.Get("k", t1); st != Stale {
+		t.Fatalf("state %v, want Stale", st)
+	}
+	if !c.Refresh("k", t1, time.Minute) {
+		t.Fatal("Refresh lost the entry")
+	}
+	if _, st := c.Get("k", t1.Add(30*time.Second)); st != Fresh {
+		t.Errorf("after refresh: state %v, want Fresh", st)
+	}
+	if c.Refresh("gone", t1, time.Minute) {
+		t.Error("Refresh of a missing key reported true")
+	}
+}
+
+// TestCacheNegativeEntry: non-200 entries cache like any other (the
+// proxy gives them a shorter TTL).
+func TestCacheNegativeEntry(t *testing.T) {
+	c := NewCache(1<<20, time.Minute)
+	now := time.Now()
+	neg := &Entry{Key: "/video/999/0/0.bin", Status: 404, Body: []byte("404 page not found\n")}
+	c.Put(neg, now, 5*time.Second)
+	e, st := c.Get(neg.Key, now.Add(time.Second))
+	if st != Fresh || e.Status != 404 {
+		t.Fatalf("negative entry: state %v status %d", st, e.Status)
+	}
+}
+
+// TestCacheReplace: re-putting a key replaces the old body in the
+// accounting.
+func TestCacheReplace(t *testing.T) {
+	c := NewCache(1<<20, time.Minute)
+	now := time.Now()
+	c.Put(ent("k", 1000), now, time.Minute)
+	c.Put(ent("k", 10), now, time.Minute)
+	if c.Len() != 1 {
+		t.Fatalf("len %d, want 1", c.Len())
+	}
+	if got := c.Bytes(); got != 10+entryOverhead {
+		t.Errorf("bytes %d, want %d", got, 10+entryOverhead)
+	}
+}

@@ -1,0 +1,471 @@
+package edge
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pano/internal/client"
+	"pano/internal/manifest"
+	"pano/internal/mathx"
+	"pano/internal/obs"
+	"pano/internal/trace"
+	"pano/internal/viewport"
+)
+
+// Config tunes an Edge.
+type Config struct {
+	// Origin is the origin server's base URL, e.g. "http://origin:8360".
+	Origin string
+	// CacheBytes is the cache budget. 0 disables caching entirely: the
+	// edge becomes a transparent pass-through proxy whose responses are
+	// byte-identical to talking to the origin directly.
+	CacheBytes int64
+	// TTL is the freshness lifetime of positive entries (default 60s).
+	TTL time.Duration
+	// NegTTL is the lifetime of negative (non-200) entries (default 5s):
+	// long enough to absorb a stampede of bad requests, short enough
+	// that a fixed origin recovers quickly.
+	NegTTL time.Duration
+	// StaleFor is how long past expiry an entry may still be served when
+	// the origin is faulty — revalidation degradations serve stale
+	// within this window instead of erroring (default 5m).
+	StaleFor time.Duration
+	// Fetch tunes the origin retry ladder (attempts, backoff, attempt
+	// timeout); the zero value selects client.DefaultFetchPolicy. This
+	// is the same policy type the streaming client uses, so a
+	// chaos-wrapped origin degrades identically for both.
+	Fetch client.FetchPolicy
+	// PrefetchBudget enables prediction-driven prefetch when > 0: the
+	// token budget bounding how many tiles may be warmed; tokens refill
+	// one per demand request, so prefetch can never outrun (and thus
+	// starve) demand.
+	PrefetchBudget int
+	// PrefetchWorkers bounds concurrent prefetch fills (default 2).
+	PrefetchWorkers int
+	// Peers are other users' viewpoint traces for the served video; with
+	// peers the prefetcher warms the tiles under their consensus
+	// viewpoint (cross-user prediction), without it falls back to the
+	// cross-user demand the edge itself has observed.
+	Peers []*viewport.Trace
+	// Obs, Log, and Tracer attach metrics, structured events, and spans;
+	// nil disables each at zero cost.
+	Obs    *obs.Registry
+	Log    *obs.EventLog
+	Tracer *trace.Tracer
+	// HTTP overrides the origin transport (tests).
+	HTTP *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.TTL <= 0 {
+		c.TTL = 60 * time.Second
+	}
+	if c.NegTTL <= 0 {
+		c.NegTTL = 5 * time.Second
+	}
+	if c.StaleFor <= 0 {
+		c.StaleFor = 5 * time.Minute
+	}
+	if c.PrefetchWorkers <= 0 {
+		c.PrefetchWorkers = 2
+	}
+	return c
+}
+
+// Edge is the caching reverse proxy. Create with New, mount Handler,
+// Close when done (stops prefetch workers).
+type Edge struct {
+	cfg    Config
+	origin *client.Client
+	cache  *Cache // nil = pass-through mode
+	flight flightGroup
+	pf     *prefetcher
+
+	reg    *obs.Registry
+	log    *obs.EventLog
+	tracer *trace.Tracer
+
+	man     atomic.Pointer[manifest.Video]
+	seq     atomic.Uint64 // per-fill RNG stream for backoff jitter
+	hitN    atomic.Uint64 // cache-absorbed requests (fresh/304/coalesced/stale)
+	missN   atomic.Uint64 // full origin body fetches
+	evictCt *obs.Counter
+}
+
+// New validates cfg and returns an Edge.
+func New(cfg Config) (*Edge, error) {
+	if cfg.Origin == "" {
+		return nil, fmt.Errorf("edge: Origin is required")
+	}
+	cfg = cfg.withDefaults()
+	e := &Edge{
+		cfg:    cfg,
+		reg:    cfg.Obs,
+		log:    cfg.Log,
+		tracer: cfg.Tracer,
+	}
+	e.origin = client.New(cfg.Origin)
+	if cfg.HTTP != nil {
+		e.origin.HTTP = cfg.HTTP
+	}
+	if cfg.CacheBytes > 0 {
+		e.cache = NewCache(cfg.CacheBytes, cfg.StaleFor)
+		e.reg.Gauge("pano_edge_cache_budget_bytes", "configured cache byte budget").
+			Set(float64(cfg.CacheBytes))
+	}
+	e.evictCt = e.reg.Counter("pano_edge_evictions_total",
+		"cache entries removed by byte-budget pressure")
+	if cfg.PrefetchBudget > 0 && e.cache != nil {
+		e.pf = newPrefetcher(e, cfg)
+	}
+	return e, nil
+}
+
+// Close stops the prefetch workers (demand serving needs no teardown).
+func (e *Edge) Close() {
+	if e.pf != nil {
+		e.pf.close()
+	}
+}
+
+// DrainPrefetch blocks until every enqueued prefetch job has finished —
+// deterministic warm-state for tests and benchmarks.
+func (e *Edge) DrainPrefetch() {
+	if e.pf != nil {
+		e.pf.drain()
+	}
+}
+
+// Manifest returns the origin manifest the edge has learned from
+// traffic (nil until a manifest response passes through).
+func (e *Edge) Manifest() *manifest.Video { return e.man.Load() }
+
+// CacheBytes reports the bytes currently held by the cache (0 in
+// pass-through mode).
+func (e *Edge) CacheBytes() int64 {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.Bytes()
+}
+
+// Handler returns the HTTP handler:
+//
+//	GET /manifest.json, /manifest.mpd, /video/{chunk}/{tile}/{level}.bin
+//	    — proxied (and, unless CacheBytes is 0, cached) from the origin
+//	GET /metrics        — Prometheus exposition (only with Obs)
+//	GET /debug/events   — event-log ring buffer (only with Log)
+//	GET /debug/traces   — finished traces (only with Tracer)
+//
+// Callers that want edge spans stitched into client traces should wrap
+// the handler in trace.Middleware (outermost), exactly like the origin
+// server.
+func (e *Edge) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/manifest.json", func(w http.ResponseWriter, r *http.Request) {
+		e.proxy("manifest", w, r)
+	})
+	mux.HandleFunc("/manifest.mpd", func(w http.ResponseWriter, r *http.Request) {
+		e.proxy("mpd", w, r)
+	})
+	mux.HandleFunc("/video/", func(w http.ResponseWriter, r *http.Request) {
+		e.proxy("tile", w, r)
+	})
+	if e.reg != nil {
+		mux.Handle("/metrics", e.reg.Handler())
+	}
+	if e.log != nil {
+		mux.HandleFunc("/debug/events", e.handleEvents)
+	}
+	if e.tracer != nil {
+		mux.Handle("/debug/traces", e.tracer.Handler())
+	}
+	return mux
+}
+
+func (e *Edge) handleEvents(w http.ResponseWriter, r *http.Request) {
+	// Same JSON shape as the origin's /debug/events; small enough to
+	// inline rather than export from internal/server.
+	w.Header().Set("Content-Type", "application/json")
+	evs := e.log.Events()
+	var b strings.Builder
+	b.WriteString("[")
+	for i, ev := range evs {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "{\"time\":%q,\"level\":%q,\"msg\":%q}",
+			ev.Time.Format(time.RFC3339Nano), ev.Level.String(), ev.Msg)
+	}
+	b.WriteString("]\n")
+	io.WriteString(w, b.String())
+}
+
+// etagMatch mirrors the origin's If-None-Match comparison (RFC 9110
+// weak comparison over a comma-separated candidate list).
+func etagMatch(header, etag string) bool {
+	if header == "" || etag == "" {
+		return false
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" || strings.TrimPrefix(cand, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// proxy serves one cacheable origin object.
+func (e *Edge) proxy(endpoint string, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if e.cache == nil {
+		e.passthrough(endpoint, w, r)
+		return
+	}
+	path := r.URL.Path
+	ctx, lsp := trace.StartSpan(r.Context(), "edge.lookup",
+		trace.A("component", "edge"), trace.A("endpoint", endpoint), trace.A("path", path))
+	defer lsp.End()
+	now := time.Now()
+	ent, state := e.cache.Get(path, now)
+	lsp.Annotate("state", state.String())
+
+	src := "hit"
+	switch state {
+	case Fresh:
+		e.count(endpoint, "hits")
+		e.hitN.Add(1)
+	default: // Stale or Miss: fill (coalesced with concurrent fillers).
+		fr, leader := e.fill(ctx, path, endpoint, ent, state)
+		switch {
+		case fr.err != nil && ent != nil:
+			// Origin faulty but a stale copy is at hand: serve it. The
+			// retention window already bounded how stale it may be.
+			src = "stale"
+			e.hitN.Add(1)
+			e.reg.Counter("pano_edge_stale_serves_total",
+				"stale entries served because the origin was unreachable").Inc()
+			e.log.Logger().Warn("edge_stale_serve",
+				"path", path, "age_sec", ent.Age(now).Seconds(), "error", fr.err.Error())
+			lsp.Annotate("served", "stale")
+		case fr.err != nil:
+			e.reg.Counter("pano_edge_origin_errors_total",
+				"requests failed: origin unreachable and nothing cached").Inc()
+			lsp.SetError("origin_unreachable")
+			e.requestDone(endpoint, http.StatusBadGateway, 0)
+			http.Error(w, "edge: origin unreachable: "+fr.err.Error(), http.StatusBadGateway)
+			return
+		case !leader:
+			src = "coalesced"
+			ent = fr.entry
+			e.hitN.Add(1)
+			e.count(endpoint, "coalesced")
+		case fr.revalidated:
+			src = "revalidated"
+			ent = fr.entry
+			e.hitN.Add(1)
+			e.count(endpoint, "hits")
+		default:
+			src = "miss"
+			ent = fr.entry
+			e.missN.Add(1)
+			e.count(endpoint, "misses")
+		}
+	}
+	e.updateHitRatio()
+	lsp.Annotate("src", src)
+	e.serve(endpoint, w, r, ent, src, now)
+	if endpoint == "tile" && e.pf != nil {
+		e.pf.observe(path)
+	}
+}
+
+// count bumps one of the pano_edge_{hits,misses,coalesced}_total
+// counters for an endpoint.
+func (e *Edge) count(endpoint, which string) {
+	help := map[string]string{
+		"hits":      "requests served from cache (fresh or revalidated)",
+		"misses":    "requests that required a full origin fetch",
+		"coalesced": "requests coalesced onto another caller's origin fetch",
+	}[which]
+	e.reg.Counter("pano_edge_"+which+"_total", help, obs.L("endpoint", endpoint)).Inc()
+}
+
+func (e *Edge) updateHitRatio() {
+	h, m := e.hitN.Load(), e.missN.Load()
+	if h+m == 0 {
+		return
+	}
+	e.reg.Gauge("pano_edge_hit_ratio",
+		"fraction of requests absorbed without a full origin fetch").
+		Set(float64(h) / float64(h+m))
+}
+
+// requestDone records the per-request counters shared by every exit
+// path.
+func (e *Edge) requestDone(endpoint string, code, bytes int) {
+	e.reg.Counter("pano_edge_requests_total", "edge requests by endpoint and status",
+		obs.L("endpoint", endpoint), obs.L("code", strconv.Itoa(code))).Inc()
+}
+
+// serve replays a cache entry to the client, honoring its own
+// If-None-Match (a fresh entry revalidates downstream caches without
+// any origin traffic at all).
+func (e *Edge) serve(endpoint string, w http.ResponseWriter, r *http.Request, ent *Entry, src string, now time.Time) {
+	h := w.Header()
+	if ent.ContentType != "" {
+		h.Set("Content-Type", ent.ContentType)
+	}
+	if ent.ETag != "" {
+		h.Set("ETag", ent.ETag)
+	}
+	h.Set("X-Cache", src)
+	h.Set("Age", strconv.Itoa(int(ent.Age(now).Seconds())))
+	if ent.Status == http.StatusOK && etagMatch(r.Header.Get("If-None-Match"), ent.ETag) {
+		w.WriteHeader(http.StatusNotModified)
+		e.requestDone(endpoint, http.StatusNotModified, 0)
+		return
+	}
+	h.Set("Content-Length", strconv.Itoa(len(ent.Body)))
+	w.WriteHeader(ent.Status)
+	n := 0
+	if r.Method != http.MethodHead && len(ent.Body) > 0 {
+		n, _ = w.Write(ent.Body)
+	}
+	e.reg.Counter("pano_edge_bytes_total", "body bytes served by the edge, by source",
+		obs.L("source", src)).Add(float64(n))
+	e.requestDone(endpoint, ent.Status, n)
+}
+
+// fillResult is what one coalesced origin fetch resolves to.
+type fillResult struct {
+	entry       *Entry
+	revalidated bool
+	err         error
+}
+
+// fill fetches path from the origin exactly once across all concurrent
+// callers (singleflight). A stale entry's ETag rides along as
+// If-None-Match so an unchanged object costs a 304, not a body.
+func (e *Edge) fill(ctx context.Context, path, endpoint string, stale *Entry, state State) (*fillResult, bool) {
+	return e.flight.Do(path, func() *fillResult {
+		fctx, sp := trace.StartSpan(ctx, "edge.fill",
+			trace.A("path", path), trace.A("stale", state == Stale))
+		defer sp.End()
+		etag := ""
+		if stale != nil {
+			etag = stale.ETag
+		}
+		rng := mathx.NewRNG(e.cfg.Fetch.Seed ^ 0xed6e ^ e.seq.Add(1))
+		e.reg.Counter("pano_edge_origin_fetches_total",
+			"origin round-trips issued by the edge (conditional and full), by endpoint",
+			obs.L("endpoint", endpoint)).Inc()
+		t0 := time.Now()
+		res, err := e.origin.FetchRaw(fctx, path, etag, e.cfg.Fetch, rng)
+		if err != nil {
+			sp.SetError("origin")
+			if state == Stale {
+				e.reg.Counter("pano_edge_revalidations_total",
+					"stale-entry revalidations against the origin by outcome",
+					obs.L("result", "error")).Inc()
+			}
+			return &fillResult{err: err}
+		}
+		now := time.Now()
+		if res.NotModified {
+			// 304 fast path: the stale body is still current.
+			e.cache.Refresh(path, now, e.cfg.TTL)
+			e.reg.Counter("pano_edge_revalidations_total",
+				"stale-entry revalidations against the origin by outcome",
+				obs.L("result", "304")).Inc()
+			sp.Annotate("revalidated", true)
+			return &fillResult{entry: stale, revalidated: true}
+		}
+		if state == Stale {
+			e.reg.Counter("pano_edge_revalidations_total",
+				"stale-entry revalidations against the origin by outcome",
+				obs.L("result", "refetch")).Inc()
+		}
+		ent := &Entry{
+			Key: path, Status: res.Status, Body: res.Body,
+			ETag: res.ETag, ContentType: res.ContentType,
+		}
+		ttl := e.cfg.TTL
+		if res.Status != http.StatusOK {
+			ttl = e.cfg.NegTTL // negative caching
+		}
+		evicted := e.cache.Put(ent, now, ttl)
+		if evicted > 0 {
+			e.evictCt.Add(float64(evicted))
+		}
+		e.reg.Counter("pano_edge_bytes_total", "body bytes served by the edge, by source",
+			obs.L("source", "origin")).Add(float64(len(res.Body)))
+		sp.Annotate("status", res.Status)
+		sp.Annotate("bytes", len(res.Body))
+		e.log.Logger().Debug("edge_fill",
+			"path", path, "status", res.Status, "bytes", len(res.Body),
+			"seconds", time.Since(t0).Seconds())
+		if path == "/manifest.json" && res.Status == http.StatusOK {
+			e.learnManifest(res.Body)
+		}
+		return &fillResult{entry: ent}
+	})
+}
+
+// learnManifest decodes a manifest passing through the cache so the
+// prefetcher knows the video's chunk/tile geometry.
+func (e *Edge) learnManifest(body []byte) {
+	m, err := manifest.Decode(bytes.NewReader(body))
+	if err != nil || m.Validate() != nil {
+		return
+	}
+	e.man.Store(m)
+	e.reg.Gauge("pano_edge_manifest_chunks", "chunks in the learned origin manifest").
+		Set(float64(m.NumChunks()))
+}
+
+// passthrough forwards one request verbatim and replays the origin's
+// answer byte-for-byte — the cache-disabled mode whose wire behaviour
+// is indistinguishable from talking to the origin directly.
+func (e *Edge) passthrough(endpoint string, w http.ResponseWriter, r *http.Request) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, e.cfg.Origin+r.URL.RequestURI(), nil)
+	if err != nil {
+		http.Error(w, "edge: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	for k, vs := range r.Header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := e.origin.HTTP.Do(req)
+	if err != nil {
+		e.requestDone(endpoint, http.StatusBadGateway, 0)
+		http.Error(w, "edge: origin unreachable: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	n, _ := io.Copy(w, resp.Body)
+	e.reg.Counter("pano_edge_bytes_total", "body bytes served by the edge, by source",
+		obs.L("source", "passthrough")).Add(float64(n))
+	e.requestDone(endpoint, resp.StatusCode, int(n))
+}

@@ -1,0 +1,45 @@
+package edge
+
+import "sync"
+
+// flightGroup coalesces concurrent calls for the same key into one
+// in-flight execution — the stampede protection of the cache tier: when
+// N clients miss on the same tile simultaneously, one origin fetch runs
+// and the other N−1 wait for its result. A minimal re-implementation of
+// the classic singleflight pattern (the x/sync module is not vendored
+// here; the stdlib-only rule of this repo applies).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	res *fillResult
+}
+
+// Do executes fn under key, returning its result to every concurrent
+// caller. leader is true for the caller that actually ran fn — the
+// others were coalesced onto its flight.
+func (g *flightGroup) Do(key string, fn func() *fillResult) (res *fillResult, leader bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.res, false
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.res = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.res, true
+}

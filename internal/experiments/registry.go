@@ -43,6 +43,7 @@ var registry = map[string]Runner{
 	"parallel":  tableOnly3(ParallelBench),
 	"chaos":     tableOnly3(ChaosBench),
 	"trace":     tableOnly3(TraceBench),
+	"edge":      tableOnly3(EdgeBench),
 	"tab2": func(d *Dataset) (*Table, error) {
 		return Table2(d), nil
 	},

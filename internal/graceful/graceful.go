@@ -1,0 +1,63 @@
+// Package graceful runs an http.Server until SIGINT/SIGTERM, then
+// drains in-flight requests instead of severing them — for a tile
+// server, a kill signal mid-chunk would otherwise truncate media bodies
+// and force every attached client down its retry ladder at once.
+package graceful
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// DefaultDrain bounds how long Shutdown waits for in-flight responses.
+const DefaultDrain = 10 * time.Second
+
+// Serve listens on addr and serves h until the process receives SIGINT
+// or SIGTERM, then shuts down gracefully, waiting up to drain for
+// in-flight requests (drain <= 0 selects DefaultDrain). It returns nil
+// after a clean drain, context.DeadlineExceeded if the drain timed out
+// (remaining connections were closed), or the listen error.
+func Serve(addr string, h http.Handler, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeListener(ln, h, drain)
+}
+
+// ServeListener is Serve over an existing listener (tests use it to
+// learn the bound port before serving).
+func ServeListener(ln net.Listener, h http.Handler, drain time.Duration) error {
+	if drain <= 0 {
+		drain = DefaultDrain
+	}
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-errc:
+		// Serve never returns nil; anything here is a real listen/accept
+		// failure (Shutdown hasn't been called yet).
+		return err
+	case <-sig:
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if errors.Is(err, context.DeadlineExceeded) {
+			srv.Close()
+		}
+		<-errc // reap the Serve goroutine (returns ErrServerClosed)
+		return err
+	}
+}

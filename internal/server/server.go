@@ -7,7 +7,10 @@
 package server
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -28,6 +31,15 @@ type Server struct {
 	reg    *obs.Registry
 	log    *obs.EventLog
 	tracer *trace.Tracer
+
+	// Cache-validation state: the manifest is encoded once at New so
+	// every response is byte-identical and its ETag is a true content
+	// hash; tiles get a derived ETag (payloads are pure functions of
+	// their address, see TileETag). lastMod anchors Last-Modified.
+	manJSON []byte
+	manETag string
+	maxAge  time.Duration
+	lastMod time.Time
 }
 
 // Option configures a Server.
@@ -47,6 +59,18 @@ func WithEventLog(l *obs.EventLog) Option {
 	return func(s *Server) { s.log = l }
 }
 
+// WithCacheTTL sets the max-age the server advertises in Cache-Control
+// on manifest and tile responses (default 60s). Downstream HTTP caches
+// — including the internal/edge tier — revalidate with If-None-Match
+// after this long and get a 304 when the content is unchanged.
+func WithCacheTTL(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.maxAge = d
+		}
+	}
+}
+
 // WithTracer attaches a span tracer: handler spans opened by
 // trace.Middleware (which callers should wrap OUTSIDE any chaos or
 // other middleware so those can annotate the active span) get annotated
@@ -61,10 +85,21 @@ func New(m *manifest.Video, opts ...Option) (*Server, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	s := &Server{man: m}
+	s := &Server{man: m, maxAge: 60 * time.Second}
 	for _, o := range opts {
 		o(s)
 	}
+	// Encode once: responses are served from this buffer (byte-identical
+	// to streaming the encoder) and the ETag is a hash of exactly the
+	// bytes on the wire.
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		return nil, fmt.Errorf("server: encode manifest: %w", err)
+	}
+	s.manJSON = buf.Bytes()
+	sum := sha256.Sum256(s.manJSON)
+	s.manETag = `"` + hex.EncodeToString(sum[:8]) + `"`
+	s.lastMod = time.Now().UTC().Truncate(time.Second)
 	if s.reg != nil {
 		s.reg.Gauge("pano_video_chunks", "chunks in the served manifest").Set(float64(m.NumChunks()))
 		if m.NumChunks() > 0 {
@@ -223,15 +258,49 @@ func (s *Server) handleMPD(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// cacheHeaders stamps the validators a downstream cache needs: a strong
+// ETag, an explicit freshness lifetime, and Last-Modified (§7: the
+// manifest and tile objects are ordinary HTTP objects, so any DASH-
+// compatible cache can hold them).
+func (s *Server) cacheHeaders(w http.ResponseWriter, etag string) {
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Cache-Control", fmt.Sprintf("max-age=%d", int(s.maxAge.Seconds())))
+	h.Set("Last-Modified", s.lastMod.Format(http.TimeFormat))
+}
+
+// etagMatch reports whether an If-None-Match header value matches the
+// representation's ETag: "*" matches anything, otherwise any member of
+// the comma-separated list compares equal (weak-comparison: a W/ prefix
+// is ignored, per RFC 9110 §8.8.3.2).
+func etagMatch(header, etag string) bool {
+	if header == "" || etag == "" {
+		return false
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" || strings.TrimPrefix(cand, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 	if !allowGetHead(w, r) {
 		return
 	}
+	s.cacheHeaders(w, s.manETag)
+	if etagMatch(r.Header.Get("If-None-Match"), s.manETag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(s.manJSON)))
 	if r.Method == http.MethodHead {
 		return
 	}
-	if err := s.man.Encode(w); err != nil {
+	if _, err := w.Write(s.manJSON); err != nil {
 		// Too late for a status code: the client sees a truncated body.
 		// Count and log it so silent manifest truncation is visible.
 		s.writeError("manifest", err)
@@ -264,6 +333,26 @@ func TilePayload(k, ti int, l codec.Level, size int) []byte {
 		buf[i] = byte(state)
 	}
 	return buf
+}
+
+// TileETag returns the strong entity tag of a tile object. TilePayload
+// is a pure function of (chunk, tile, level, size), so a mix of exactly
+// those inputs identifies the content without generating it — the 304
+// revalidation path never materializes a payload.
+func TileETag(k, ti int, l codec.Level, size int) string {
+	mix := func(h, v uint64) uint64 {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		return h ^ (h >> 31)
+	}
+	h := mix(0x243f6a8885a308d3, uint64(k))
+	h = mix(h, uint64(ti))
+	h = mix(h, uint64(l))
+	h = mix(h, uint64(size))
+	return fmt.Sprintf("%q", fmt.Sprintf("%016x", h))
 }
 
 // ParseTilePath parses "/video/{chunk}/{tile}/{level}.bin".
@@ -312,6 +401,14 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	size := TileSizeBytes(&tiles[ti], l)
+	etag := TileETag(k, ti, l, size)
+	s.cacheHeaders(w, etag)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		// 304 before generating the payload: revalidation is the cheap
+		// path by construction.
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(maxInt(size, 16)))
 	if r.Method == http.MethodHead {

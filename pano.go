@@ -10,6 +10,10 @@
 //	manifest → Serve (DASH-style HTTP) → Stream (adaptive client)
 //	manifest + traces → Simulate (trace-driven evaluation)
 //
+// An optional edge cache tier (NewEdge, cmd/pano-edge) slots between
+// Serve and Stream: the same HTTP interface, with tile fetches
+// coalesced, cached, and prefetched close to the clients.
+//
 // The package root re-exports the stable surface of the internal
 // packages; see the examples directory for end-to-end programs, and
 // cmd/pano-bench for the paper's full evaluation suite.
@@ -20,6 +24,7 @@ import (
 	"net/http"
 
 	"pano/internal/chaos"
+	"pano/internal/edge"
 	"pano/internal/jnd"
 	"pano/internal/manifest"
 	"pano/internal/nettrace"
@@ -112,6 +117,16 @@ type (
 	// TraceData is one finished trace (all spans, cloned out of the
 	// store).
 	TraceData = trace.TraceData
+	// Edge is the caching reverse proxy between clients and an origin
+	// Server: byte-budgeted LRU cache with TTLs and negative caching,
+	// singleflight request coalescing, ETag revalidation (304 fast
+	// path), serve-stale on origin faults, and prediction-driven
+	// next-chunk tile prefetch (cross-user consensus when peer traces
+	// are configured).
+	Edge = edge.Edge
+	// EdgeConfig tunes an Edge (origin URL, cache budget, TTLs, origin
+	// FetchPolicy, prefetch budget and peer traces, observability).
+	EdgeConfig = edge.Config
 )
 
 // NewJNDFieldCache returns a content-JND field cache holding at most
@@ -221,6 +236,12 @@ func NewServer(m *Manifest) (*Server, error) { return server.New(m) }
 
 // NewClient returns a streaming client for a server base URL.
 func NewClient(baseURL string) *Client { return panoclient.New(baseURL) }
+
+// NewEdge returns the edge cache tier for cfg.Origin; mount
+// Edge.Handler and Close when done. cfg.CacheBytes = 0 degrades to a
+// byte-transparent pass-through proxy. See cmd/pano-edge for the
+// standalone binary.
+func NewEdge(cfg EdgeConfig) (*Edge, error) { return edge.New(cfg) }
 
 // DefaultFetchPolicy returns the client's default resilience knobs
 // (3 attempts per ladder rung, 50ms-1s jittered backoff, buffer-derived
