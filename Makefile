@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmt race race-kernels chaos trace edge bench microbench clean
+.PHONY: build test check vet fmt race race-kernels chaos trace edge dash benchdiff bench microbench clean
 
 build:
 	$(GO) build ./...
@@ -58,7 +58,22 @@ edge:
 	$(GO) test -race ./internal/edge ./internal/graceful -count 1
 	$(GO) run ./cmd/pano-bench -scale quick edge
 
-check: vet fmt race race-kernels chaos trace edge
+# The telemetry layer: windowed-store, burn-rate, and handler suites
+# (including the scrape-while-serving SSE stress) under the race
+# detector, then the telemetry experiment — healthy → chaos → recovery
+# in logical time, with the rebuffer SLO paging and recovering and the
+# sampler's Step overhead measured (lands in BENCH_telemetry.json).
+dash:
+	$(GO) test -race ./internal/telemetry ./internal/obs -count 1
+	$(GO) run ./cmd/pano-bench -scale quick telemetry
+
+# Compare two benchmark runs: files or directories of BENCH_*.json.
+# Usage: make benchdiff OLD=baseline/ NEW=. [THRESHOLD=0.10]
+THRESHOLD ?= 0.10
+benchdiff:
+	$(GO) run ./cmd/pano-benchdiff -threshold $(THRESHOLD) $(OLD) $(NEW)
+
+check: vet fmt race race-kernels chaos trace edge dash
 
 # Quick-scale paper evaluation; writes BENCH_<id>.json files.
 bench: build microbench

@@ -27,20 +27,61 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"pano/internal/experiments"
 )
 
-// benchRecord is the schema of a BENCH_<id>.json file.
+// benchRecord is the schema of a BENCH_<id>.json file. Commit,
+// GoVersion, and Time stamp provenance so two result files can be
+// compared across commits (see cmd/pano-benchdiff) without guessing
+// which build produced which numbers.
 type benchRecord struct {
-	ID      string     `json:"id"`
-	Scale   string     `json:"scale"`
-	Title   string     `json:"title"`
-	Header  []string   `json:"header"`
-	Rows    [][]string `json:"rows"`
-	Seconds float64    `json:"seconds"`
+	ID        string     `json:"id"`
+	Scale     string     `json:"scale"`
+	Title     string     `json:"title"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+	Seconds   float64    `json:"seconds"`
+	Commit    string     `json:"commit"`
+	GoVersion string     `json:"go_version"`
+	Time      string     `json:"time"`
+}
+
+// commitHash resolves the building commit: the binary's embedded VCS
+// stamp when present (go build from a clean checkout), else git in the
+// working directory (go run, tests), else "unknown".
+func commitHash() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + dirty
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	return "unknown"
 }
 
 func main() {
@@ -72,6 +113,7 @@ func main() {
 		ids = experiments.IDs()
 	}
 	d := experiments.NewDataset(s)
+	commit := commitHash()
 	exit := 0
 	for _, id := range ids {
 		start := time.Now()
@@ -88,6 +130,8 @@ func main() {
 			rec := benchRecord{
 				ID: id, Scale: *scale, Title: table.Title,
 				Header: table.Header, Rows: table.Rows, Seconds: elapsed,
+				Commit: commit, GoVersion: runtime.Version(),
+				Time: time.Now().UTC().Format(time.RFC3339),
 			}
 			if err := writeJSON(filepath.Join(*jsonDir, "BENCH_"+id+".json"), rec); err != nil {
 				fmt.Fprintf(os.Stderr, "pano-bench: %s: %v\n", id, err)

@@ -1,0 +1,285 @@
+// Command pano-benchdiff compares two BENCH_<id>.json result files (or
+// two directories of them) produced by pano-bench and prints per-metric
+// deltas, so bench trajectories can be gated in CI instead of eyeballed.
+//
+// Usage:
+//
+//	pano-benchdiff [-threshold 0.1] old.json new.json
+//	pano-benchdiff [-threshold 0.1] old-dir/ new-dir/
+//
+// Rows are matched by their first cell (the experiment's row key) and
+// columns by header name; numeric cells get a relative delta, and
+// non-numeric cells are compared for equality. In directory mode every
+// BENCH_*.json present in BOTH directories is compared (files present
+// on only one side are reported but don't fail the diff).
+//
+// With -threshold t > 0 the exit status becomes 1 when any numeric
+// cell moved by more than t relative to the old value (both directions
+// — without knowing a metric's polarity, any large move is worth a
+// human look). -threshold 0 (default) reports only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchFile is the subset of pano-bench's benchRecord schema the diff
+// needs (unknown fields are ignored, so older files still load).
+type benchFile struct {
+	ID        string     `json:"id"`
+	Scale     string     `json:"scale"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+	Seconds   float64    `json:"seconds"`
+	Commit    string     `json:"commit"`
+	GoVersion string     `json:"go_version"`
+	Time      string     `json:"time"`
+}
+
+// cellDelta is one compared cell.
+type cellDelta struct {
+	ID, Row, Col string
+	Old, New     float64
+	Rel          float64 // (new-old)/|old|; ±Inf when old == 0 and new != 0
+	Numeric      bool
+	OldS, NewS   string // original cells, for non-numeric mismatch reports
+	Changed      bool
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0,
+		"max allowed relative change per numeric cell before exiting 1 (0 = report only)")
+	quiet := flag.Bool("quiet", false, "print only cells exceeding the threshold")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: pano-benchdiff [-threshold 0.1] <old.json|old-dir> <new.json|new-dir>")
+		os.Exit(2)
+	}
+	oldArg, newArg := flag.Arg(0), flag.Arg(1)
+
+	pairs, err := resolvePairs(oldArg, newArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pano-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if len(pairs) == 0 {
+		fmt.Fprintln(os.Stderr, "pano-benchdiff: no BENCH_*.json pairs to compare")
+		os.Exit(2)
+	}
+
+	regressions := 0
+	for _, pr := range pairs {
+		a, err := loadBench(pr[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pano-benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		b, err := loadBench(pr[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pano-benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("== %s: %s (%s, go %s) vs %s (%s, go %s)\n",
+			firstNonEmpty(a.ID, filepath.Base(pr[0])),
+			short(a.Commit), firstNonEmpty(a.Time, "?"), strings.TrimPrefix(a.GoVersion, "go"),
+			short(b.Commit), firstNonEmpty(b.Time, "?"), strings.TrimPrefix(b.GoVersion, "go"))
+		for _, d := range diffRecords(a, b) {
+			over := d.Numeric && *threshold > 0 && math.Abs(d.Rel) > *threshold
+			if over {
+				regressions++
+			}
+			if *quiet && !over {
+				continue
+			}
+			switch {
+			case !d.Changed:
+				// Unchanged cells stay silent even in verbose mode.
+			case d.Numeric:
+				mark := ""
+				if over {
+					mark = "  <-- past threshold"
+				}
+				fmt.Printf("  %-24s %-16s %12g -> %-12g (%+.1f%%)%s\n",
+					d.Row, d.Col, d.Old, d.New, 100*d.Rel, mark)
+			default:
+				fmt.Printf("  %-24s %-16s %q -> %q\n", d.Row, d.Col, d.OldS, d.NewS)
+			}
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "pano-benchdiff: %d cell(s) moved past the %.0f%% threshold\n",
+			regressions, 100**threshold)
+		os.Exit(1)
+	}
+}
+
+// resolvePairs maps the two arguments to (old, new) file pairs: either
+// the single pair given directly, or matching BENCH_*.json basenames
+// when both arguments are directories.
+func resolvePairs(oldArg, newArg string) ([][2]string, error) {
+	oi, err := os.Stat(oldArg)
+	if err != nil {
+		return nil, err
+	}
+	ni, err := os.Stat(newArg)
+	if err != nil {
+		return nil, err
+	}
+	if oi.IsDir() != ni.IsDir() {
+		return nil, fmt.Errorf("mixed arguments: %s and %s must both be files or both directories", oldArg, newArg)
+	}
+	if !oi.IsDir() {
+		return [][2]string{{oldArg, newArg}}, nil
+	}
+	olds, err := filepath.Glob(filepath.Join(oldArg, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var pairs [][2]string
+	for _, op := range olds {
+		np := filepath.Join(newArg, filepath.Base(op))
+		if _, err := os.Stat(np); err != nil {
+			fmt.Fprintf(os.Stderr, "pano-benchdiff: %s only in %s (skipped)\n", filepath.Base(op), oldArg)
+			continue
+		}
+		pairs = append(pairs, [2]string{op, np})
+	}
+	news, _ := filepath.Glob(filepath.Join(newArg, "BENCH_*.json"))
+	for _, np := range news {
+		if _, err := os.Stat(filepath.Join(oldArg, filepath.Base(np))); err != nil {
+			fmt.Fprintf(os.Stderr, "pano-benchdiff: %s only in %s (skipped)\n", filepath.Base(np), newArg)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+	return pairs, nil
+}
+
+func loadBench(path string) (benchFile, error) {
+	var b benchFile
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// diffRecords compares two bench tables cell by cell: rows matched by
+// first cell, columns by header name (falling back to position when a
+// header is absent), changed cells reported in row order.
+func diffRecords(a, b benchFile) []cellDelta {
+	newRows := make(map[string][]string, len(b.Rows))
+	for _, r := range b.Rows {
+		if len(r) > 0 {
+			newRows[r[0]] = r
+		}
+	}
+	newCol := make(map[string]int, len(b.Header))
+	for i, h := range b.Header {
+		newCol[h] = i
+	}
+	var out []cellDelta
+	for _, row := range a.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		nrow, ok := newRows[row[0]]
+		if !ok {
+			out = append(out, cellDelta{ID: a.ID, Row: row[0], Col: "(row)",
+				OldS: "present", NewS: "missing", Changed: true})
+			continue
+		}
+		for ci := 1; ci < len(row); ci++ {
+			col := fmt.Sprintf("col%d", ci)
+			nci := ci
+			if ci < len(a.Header) {
+				col = a.Header[ci]
+				if j, ok := newCol[col]; ok {
+					nci = j
+				}
+			}
+			if nci >= len(nrow) {
+				continue
+			}
+			d := compareCell(row[ci], nrow[nci])
+			d.ID, d.Row, d.Col = a.ID, row[0], col
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// compareCell parses both cells as floats when possible (tolerating
+// unit suffixes like "12.3ms" or "85%") and computes the relative
+// delta; otherwise it falls back to string equality.
+func compareCell(oldS, newS string) cellDelta {
+	d := cellDelta{OldS: oldS, NewS: newS}
+	ov, oerr := parseNumeric(oldS)
+	nv, nerr := parseNumeric(newS)
+	if oerr == nil && nerr == nil {
+		d.Numeric, d.Old, d.New = true, ov, nv
+		switch {
+		case ov == nv:
+			// unchanged
+		case ov == 0:
+			d.Rel = math.Inf(sign(nv))
+			d.Changed = true
+		default:
+			d.Rel = (nv - ov) / math.Abs(ov)
+			d.Changed = true
+		}
+		return d
+	}
+	d.Changed = oldS != newS
+	return d
+}
+
+// parseNumeric reads the leading float of a cell ("42", "3.1ms",
+// "85%", "1.2e3"); pure text fails.
+func parseNumeric(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	end := len(s)
+	for end > 0 {
+		if v, err := strconv.ParseFloat(s[:end], 64); err == nil {
+			return v, nil
+		}
+		end--
+	}
+	return 0, fmt.Errorf("not numeric: %q", s)
+}
+
+func sign(v float64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+func short(c string) string {
+	if c == "" {
+		return "?"
+	}
+	if len(c) > 12 {
+		return c[:12]
+	}
+	return c
+}
+
+func firstNonEmpty(vals ...string) string {
+	for _, v := range vals {
+		if v != "" {
+			return v
+		}
+	}
+	return ""
+}

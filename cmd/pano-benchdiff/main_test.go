@@ -1,0 +1,124 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseNumeric(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"42", 42, true},
+		{"3.25", 3.25, true},
+		{"3.1ms", 3.1, true},
+		{"85%", 85, true},
+		{"1.2e3", 1200, true},
+		{"-0.5", -0.5, true},
+		{" 7 ", 7, true},
+		{"pano", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseNumeric(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("parseNumeric(%q): err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("parseNumeric(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDiffRecords(t *testing.T) {
+	a := benchFile{
+		ID:     "edge",
+		Header: []string{"mode", "hit ratio", "p99 ms", "planner"},
+		Rows: [][]string{
+			{"direct", "0.00", "12.0", "pano"},
+			{"edge", "0.80", "4.0", "pano"},
+			{"gone", "1.0", "1.0", "pano"},
+		},
+	}
+	b := benchFile{
+		ID:     "edge",
+		Header: []string{"mode", "hit ratio", "p99 ms", "planner"},
+		Rows: [][]string{
+			{"direct", "0.00", "12.0", "pano"},
+			{"edge", "0.60", "6.0", "greedy"},
+		},
+	}
+	ds := diffRecords(a, b)
+	byKey := map[string]cellDelta{}
+	for _, d := range ds {
+		byKey[d.Row+"/"+d.Col] = d
+	}
+	if d := byKey["edge/hit ratio"]; !d.Changed || !d.Numeric || math.Abs(d.Rel-(-0.25)) > 1e-9 {
+		t.Errorf("hit ratio delta = %+v, want rel -0.25", d)
+	}
+	if d := byKey["edge/p99 ms"]; !d.Changed || math.Abs(d.Rel-0.5) > 1e-9 {
+		t.Errorf("p99 delta = %+v, want rel +0.5", d)
+	}
+	if d := byKey["edge/planner"]; !d.Changed || d.Numeric {
+		t.Errorf("planner cell should be a non-numeric change, got %+v", d)
+	}
+	if d := byKey["direct/hit ratio"]; d.Changed {
+		t.Errorf("unchanged cell reported as changed: %+v", d)
+	}
+	if d := byKey["gone/(row)"]; !d.Changed {
+		t.Errorf("missing row not reported: %+v", ds)
+	}
+}
+
+func TestDiffRecordsZeroBase(t *testing.T) {
+	a := benchFile{Header: []string{"k", "v"}, Rows: [][]string{{"r", "0"}}}
+	b := benchFile{Header: []string{"k", "v"}, Rows: [][]string{{"r", "3"}}}
+	ds := diffRecords(a, b)
+	if len(ds) != 1 || !math.IsInf(ds[0].Rel, 1) {
+		t.Fatalf("zero-base delta = %+v, want +Inf rel", ds)
+	}
+}
+
+func TestResolvePairsDirs(t *testing.T) {
+	oldDir, newDir := t.TempDir(), t.TempDir()
+	write := func(dir, name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(oldDir, "BENCH_a.json", "{}")
+	write(oldDir, "BENCH_b.json", "{}")
+	write(newDir, "BENCH_a.json", "{}")
+	write(newDir, "BENCH_c.json", "{}")
+	pairs, err := resolvePairs(oldDir, newDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || filepath.Base(pairs[0][0]) != "BENCH_a.json" {
+		t.Fatalf("pairs = %v, want only BENCH_a.json", pairs)
+	}
+}
+
+func TestResolvePairsFiles(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	for _, p := range []string{oldP, newP} {
+		if err := os.WriteFile(p, []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pairs, err := resolvePairs(oldP, newP)
+	if err != nil || len(pairs) != 1 {
+		t.Fatalf("pairs=%v err=%v", pairs, err)
+	}
+	if _, err := resolvePairs(oldP, dir); err == nil {
+		t.Fatal("mixed file/dir arguments should error")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"pano/internal/edge"
 	"pano/internal/graceful"
 	"pano/internal/obs"
+	"pano/internal/telemetry"
 	"pano/internal/trace"
 	"pano/internal/viewport"
 )
@@ -56,6 +57,7 @@ func main() {
 	enableTrace := flag.Bool("trace", false, "record edge spans for traced requests (browse at /debug/traces)")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logRequests := flag.Bool("log-requests", false, "emit structured JSON log lines for edge activity")
+	sloSpec := flag.String("slo", "", `SLO telemetry spec, e.g. "default" or "edge_hit>=0.7" ("" = off; see telemetry.ParseSLOs)`)
 	flag.Parse()
 
 	if *origin == "" {
@@ -90,6 +92,17 @@ func main() {
 	if *enableTrace {
 		tracer = trace.New(trace.Config{Obs: reg, Log: evlog})
 	}
+	slos, err := telemetry.ParseSLOs(*sloSpec)
+	if err != nil {
+		log.Fatalf("pano-edge: %v", err)
+	}
+	var sampler *telemetry.Sampler
+	if slos != nil {
+		evlog.ObserveDrops(reg)
+		sampler = telemetry.New(telemetry.Config{
+			Obs: reg, SLOs: slos, Log: evlog, Tracer: tracer,
+		})
+	}
 
 	e, err := edge.New(edge.Config{
 		Origin:         *origin,
@@ -102,6 +115,7 @@ func main() {
 		Obs:            reg,
 		Log:            evlog,
 		Tracer:         tracer,
+		Telemetry:      sampler,
 	})
 	if err != nil {
 		log.Fatalf("pano-edge: %v", err)
@@ -135,6 +149,10 @@ func main() {
 		log.Printf("pprof mounted at /debug/pprof/")
 	}
 
+	if sampler != nil {
+		sampler.Start()
+		log.Printf("SLO telemetry enabled (%d objectives; /debug/slo, dashboard at /debug/dash)", len(slos))
+	}
 	mode := "caching"
 	if *cacheBytes == 0 {
 		mode = "pass-through"
@@ -143,7 +161,7 @@ func main() {
 		mode, *origin, *addr, *cacheBytes, *ttl, *prefetch, len(peers))
 	// Same graceful pattern as pano-server: drain in-flight responses on
 	// SIGINT/SIGTERM.
-	if err := graceful.Serve(*addr, handler, graceful.DefaultDrain); err != nil {
+	if err := graceful.Serve(*addr, handler, graceful.DefaultDrain, sampler); err != nil {
 		log.Fatalf("pano-edge: %v", err)
 	}
 	log.Printf("drained; bye")

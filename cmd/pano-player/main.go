@@ -19,12 +19,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
+	"time"
 
 	"pano/internal/client"
 	"pano/internal/obs"
 	"pano/internal/player"
 	"pano/internal/scene"
+	"pano/internal/telemetry"
 	"pano/internal/trace"
 	"pano/internal/viewport"
 )
@@ -38,6 +42,8 @@ func main() {
 	events := flag.Bool("events", false, "emit structured JSON events on stderr")
 	metrics := flag.Bool("metrics", false, "dump Prometheus metrics on exit")
 	traceOut := flag.String("trace-out", "", "write the session trace as Chrome trace-event JSON to this file")
+	sloSpec := flag.String("slo", "", `SLO telemetry spec, e.g. "default" ("" = off; see telemetry.ParseSLOs)`)
+	telAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/slo, and /debug/dash on this address while streaming (requires -slo)")
 	flag.Parse()
 
 	var pl player.Planner
@@ -79,6 +85,38 @@ func main() {
 	var tracer *trace.Tracer
 	if *traceOut != "" {
 		tracer = trace.New(trace.Config{Obs: reg, Log: evlog})
+	}
+	slos, err := telemetry.ParseSLOs(*sloSpec)
+	if err != nil {
+		log.Fatalf("pano-player: %v", err)
+	}
+	var sampler *telemetry.Sampler
+	if slos != nil {
+		evlog.ObserveDrops(reg)
+		sampler = telemetry.New(telemetry.Config{
+			Obs: reg, SLOs: slos, Log: evlog, Tracer: tracer,
+			Interval: 250 * time.Millisecond, // sessions are short; sample fast
+		})
+		sampler.Start()
+		defer sampler.Stop()
+		if *telAddr != "" {
+			// A session-local debug endpoint: watch the SLO dashboard live
+			// while the player streams. Plain http.Serve — the process exits
+			// with the session, so graceful drain buys nothing here.
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", reg.Handler())
+			mux.Handle("/debug/slo", sampler.SLOHandler())
+			mux.Handle("/debug/dash", sampler.DashHandler())
+			ln, lerr := net.Listen("tcp", *telAddr)
+			if lerr != nil {
+				log.Fatalf("pano-player: %v", lerr)
+			}
+			defer ln.Close()
+			go http.Serve(ln, mux)
+			fmt.Printf("telemetry: http://%s/debug/dash\n", ln.Addr())
+		}
+	} else if *telAddr != "" {
+		log.Fatalf("pano-player: -telemetry-addr requires -slo (try -slo default)")
 	}
 	res, err := cl.Stream(ctx, tr, client.StreamConfig{
 		BufferTargetSec: *buffer,

@@ -34,6 +34,7 @@ import (
 	"pano/internal/provider"
 	"pano/internal/scene"
 	"pano/internal/server"
+	"pano/internal/telemetry"
 	"pano/internal/trace"
 	"pano/internal/viewport"
 )
@@ -48,6 +49,7 @@ func main() {
 	logRequests := flag.Bool("log-requests", false, "emit one structured JSON log line per request")
 	chaosSpec := flag.String("chaos", "", `fault-injection spec, e.g. "seed=7,tile-error=0.1" ("" = off)`)
 	enableTrace := flag.Bool("trace", false, "record handler spans for traced requests (browse at /debug/traces)")
+	sloSpec := flag.String("slo", "", `SLO telemetry spec, e.g. "default" or "rebuffer<=0.02;tile_p99<=0.3" ("" = off; see telemetry.ParseSLOs)`)
 	flag.Parse()
 
 	chaosProfile, err := chaos.Parse(*chaosSpec)
@@ -100,6 +102,18 @@ func main() {
 		tracer = trace.New(trace.Config{Obs: reg, Log: evlog})
 		opts = append(opts, server.WithTracer(tracer))
 	}
+	slos, err := telemetry.ParseSLOs(*sloSpec)
+	if err != nil {
+		log.Fatalf("pano-server: %v", err)
+	}
+	var sampler *telemetry.Sampler
+	if slos != nil {
+		evlog.ObserveDrops(reg)
+		sampler = telemetry.New(telemetry.Config{
+			Obs: reg, SLOs: slos, Log: evlog, Tracer: tracer,
+		})
+		opts = append(opts, server.WithTelemetry(sampler))
+	}
 	s, err := server.New(m, opts...)
 	if err != nil {
 		log.Fatalf("pano-server: %v", err)
@@ -130,11 +144,16 @@ func main() {
 		handler = mux
 		log.Printf("pprof mounted at /debug/pprof/")
 	}
+	if sampler != nil {
+		sampler.Start()
+		log.Printf("SLO telemetry enabled (%d objectives; /debug/slo, dashboard at /debug/dash)", len(slos))
+	}
 	log.Printf("serving %q (%d chunks, %d tiles/chunk) on %s (metrics at /metrics)",
 		m.Name, m.NumChunks(), len(m.Chunks[0].Tiles), *addr)
 	// Graceful shutdown: SIGINT/SIGTERM drains in-flight tile responses
-	// (bounded) instead of severing them mid-body.
-	if err := graceful.Serve(*addr, handler, graceful.DefaultDrain); err != nil {
+	// (bounded) instead of severing them mid-body; the telemetry sampler
+	// stops after the drain.
+	if err := graceful.Serve(*addr, handler, graceful.DefaultDrain, sampler); err != nil {
 		log.Fatalf("pano-server: %v", err)
 	}
 	log.Printf("drained; bye")

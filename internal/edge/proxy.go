@@ -15,6 +15,7 @@ import (
 	"pano/internal/manifest"
 	"pano/internal/mathx"
 	"pano/internal/obs"
+	"pano/internal/telemetry"
 	"pano/internal/trace"
 	"pano/internal/viewport"
 )
@@ -59,6 +60,9 @@ type Config struct {
 	Obs    *obs.Registry
 	Log    *obs.EventLog
 	Tracer *trace.Tracer
+	// Telemetry, when set, mounts /debug/slo and /debug/dash on Handler
+	// (the caller owns its Start/Stop lifecycle); nil mounts nothing.
+	Telemetry *telemetry.Sampler
 	// HTTP overrides the origin transport (tests).
 	HTTP *http.Client
 }
@@ -163,6 +167,8 @@ func (e *Edge) CacheBytes() int64 {
 //	GET /metrics        — Prometheus exposition (only with Obs)
 //	GET /debug/events   — event-log ring buffer (only with Log)
 //	GET /debug/traces   — finished traces (only with Tracer)
+//	GET /debug/slo      — SLO burn-rate state (only with Telemetry)
+//	GET /debug/dash     — live telemetry dashboard (only with Telemetry)
 //
 // Callers that want edge spans stitched into client traces should wrap
 // the handler in trace.Middleware (outermost), exactly like the origin
@@ -186,6 +192,10 @@ func (e *Edge) Handler() http.Handler {
 	}
 	if e.tracer != nil {
 		mux.Handle("/debug/traces", e.tracer.Handler())
+	}
+	if e.cfg.Telemetry != nil {
+		mux.Handle("/debug/slo", e.cfg.Telemetry.SLOHandler())
+		mux.Handle("/debug/dash", e.cfg.Telemetry.DashHandler())
 	}
 	return mux
 }

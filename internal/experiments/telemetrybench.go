@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pano/internal/obs"
+	"pano/internal/player"
+	"pano/internal/provider"
+	"pano/internal/sim"
+	"pano/internal/telemetry"
+)
+
+// TelemetryBenchResult is the BENCH_telemetry.json payload: the rebuffer
+// SLO's burn-rate trajectory through a healthy → chaos → recovery
+// session schedule driven in logical time, plus the sampler's per-tick
+// overhead.
+type TelemetryBenchResult struct {
+	// Series is the windowed store's series count at the end of the run.
+	Series int
+	// WarnAtStep/PageAtStep/RecoverAtStep are the 0-based logical steps
+	// where the rebuffer SLO first warned, first paged, and finally
+	// returned to ok (-1 = never happened).
+	WarnAtStep, PageAtStep, RecoverAtStep int
+	// PeakBurnFast is the highest fast-window burn observed.
+	PeakBurnFast float64
+	// Transitions counts rebuffer SLO state changes over the whole run.
+	Transitions uint64
+	// EndpointStateChaos is /debug/slo's overall state probed at the
+	// chaos peak; EndpointStateFinal is the same probe after recovery.
+	EndpointStateChaos, EndpointStateFinal string
+	// ScrapeNsOp and ScrapeAllocsOp measure one Step (scrape + evaluate)
+	// on the populated registry.
+	ScrapeNsOp     int64
+	ScrapeAllocsOp int64
+}
+
+// telemetry bench schedule (logical steps, one per simulated second).
+const (
+	telHealthySteps = 12
+	telChaosSteps   = 8
+	telRecoverSteps = 70
+)
+
+// TelemetryBench drives the full telemetry pipeline deterministically:
+// simulator sessions populate a registry; the sampler is stepped in
+// logical time (no wall clock, no sleeps); a starved, lossy link phase
+// pushes the rebuffer SLO's burn rate past warn and page; a long clean
+// phase drains the windows and the state recovers through flap damping.
+// The /debug/slo endpoint is probed in both the chaos peak and the
+// recovered state, and Step overhead is measured with testing.Benchmark.
+func TelemetryBench(d *Dataset) (TelemetryBenchResult, *Table, error) {
+	res := TelemetryBenchResult{WarnAtStep: -1, PageAtStep: -1, RecoverAtStep: -1}
+	vi := d.TracedIndices()[0]
+	m, err := d.Manifest(vi, provider.ModePano)
+	if err != nil {
+		return res, nil, err
+	}
+	tr := d.Traces(vi)[0]
+
+	reg := obs.NewRegistry()
+	evlog := obs.NewEventLog(nil, 0)
+	evlog.ObserveDrops(reg)
+
+	// Short windows sized to the logical schedule; everything but the
+	// rebuffer SLO is off so the trajectory below is single-cause. Going
+	// through ParseSLOs exercises the -slo flag grammar end to end.
+	slos, err := telemetry.ParseSLOs(
+		"rebuffer<=0.05@10s/40s!1.5/3;pspnr_floor=off;tile_p99=off;edge_hit=off;abort=off")
+	if err != nil {
+		return res, nil, err
+	}
+	smp := telemetry.New(telemetry.Config{
+		Obs: reg, SLOs: slos, Log: evlog, Interval: time.Second, Window: 3 * time.Minute,
+	})
+
+	now := time.Unix(1700000000, 0) // fixed logical epoch: the run is reproducible
+	step := 0
+	session := func(linkScale, loss float64, seed uint64) error {
+		link := sim.ScaledLink(m, linkScale, seed)
+		_, err := sim.Run(m, tr, link, player.NewPanoPlanner(), sim.Config{
+			Seed: seed, Obs: reg, TileLossRate: loss,
+		})
+		return err
+	}
+	tick := func() {
+		smp.Step(now)
+		st := smp.States()[0]
+		if st.BurnFast > res.PeakBurnFast {
+			res.PeakBurnFast = st.BurnFast
+		}
+		switch smp.State("rebuffer") {
+		case telemetry.StateWarn:
+			if res.WarnAtStep < 0 {
+				res.WarnAtStep = step
+			}
+		case telemetry.StatePage:
+			if res.PageAtStep < 0 {
+				res.PageAtStep = step
+			}
+		case telemetry.StateOK:
+			if res.PageAtStep >= 0 && res.RecoverAtStep < 0 {
+				res.RecoverAtStep = step
+			}
+		}
+		now = now.Add(time.Second)
+		step++
+	}
+
+	// Phase 1 — healthy: a well-provisioned session, then idle ticks.
+	if err := session(1.5, 0, d.Scale.Seed+1); err != nil {
+		return res, nil, err
+	}
+	for i := 0; i < telHealthySteps; i++ {
+		tick()
+	}
+	if smp.State("rebuffer") != telemetry.StateOK {
+		return res, nil, fmt.Errorf("telemetry: rebuffer SLO not ok after healthy phase (got %v)", smp.State("rebuffer"))
+	}
+
+	// Phase 2 — chaos: starved link plus tile loss, one session per tick.
+	// The link must be starved past what the ABR can absorb by dropping
+	// quality (~0.08× here) before stall seconds pour into the windows.
+	for i := 0; i < telChaosSteps; i++ {
+		if err := session(0.05, 0.1, d.Scale.Seed+100+uint64(i)); err != nil {
+			return res, nil, err
+		}
+		tick()
+	}
+	res.EndpointStateChaos = probeSLOState(smp)
+
+	// Phase 3 — recovery: no new sessions; the windows drain and flap
+	// damping steps the state back down.
+	for i := 0; i < telRecoverSteps; i++ {
+		tick()
+	}
+	res.EndpointStateFinal = probeSLOState(smp)
+	res.Series = smp.Store().Len()
+	res.Transitions = smp.States()[0].Transitions
+
+	if res.PageAtStep < 0 {
+		return res, nil, fmt.Errorf("telemetry: rebuffer SLO never paged under chaos (peak burn %.2f)", res.PeakBurnFast)
+	}
+	if res.RecoverAtStep < 0 {
+		return res, nil, fmt.Errorf("telemetry: rebuffer SLO never recovered (final %s)", res.EndpointStateFinal)
+	}
+	if res.EndpointStateChaos == "ok" {
+		return res, nil, fmt.Errorf("telemetry: /debug/slo reported ok at the chaos peak")
+	}
+	if res.EndpointStateFinal != "ok" {
+		return res, nil, fmt.Errorf("telemetry: /debug/slo reported %s after recovery", res.EndpointStateFinal)
+	}
+
+	// Overhead: one Step on the now fully-populated registry.
+	bt := now
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			smp.Step(bt)
+			bt = bt.Add(time.Second)
+		}
+	})
+	res.ScrapeNsOp = br.NsPerOp()
+	res.ScrapeAllocsOp = br.AllocsPerOp()
+
+	t := &Table{
+		Title:  "Continuous QoE telemetry: rebuffer SLO burn-rate under injected chaos",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"store series", f0(float64(res.Series))},
+			{"peak burn (fast)", f2(res.PeakBurnFast)},
+			{"warn at step", f0(float64(res.WarnAtStep))},
+			{"page at step", f0(float64(res.PageAtStep))},
+			{"recover at step", f0(float64(res.RecoverAtStep))},
+			{"state transitions", f0(float64(res.Transitions))},
+			{"slo endpoint (chaos)", res.EndpointStateChaos},
+			{"slo endpoint (final)", res.EndpointStateFinal},
+			{"scrape ns/op", f0(float64(res.ScrapeNsOp))},
+			{"scrape allocs/op", f0(float64(res.ScrapeAllocsOp))},
+		},
+	}
+	return res, t, nil
+}
+
+// probeSLOState GETs the sampler's /debug/slo handler and returns the
+// overall state field — the same bytes an operator's curl would see.
+func probeSLOState(smp *telemetry.Sampler) string {
+	rec := httptest.NewRecorder()
+	smp.SLOHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slo", nil))
+	var body struct {
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		return "unparseable"
+	}
+	return body.State
+}

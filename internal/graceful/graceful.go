@@ -18,22 +18,29 @@ import (
 // DefaultDrain bounds how long Shutdown waits for in-flight responses.
 const DefaultDrain = 10 * time.Second
 
+// Stopper is anything with background work to halt once the HTTP
+// server has drained — telemetry samplers, prefetchers, pollers. The
+// telemetry.Sampler satisfies it directly.
+type Stopper interface{ Stop() }
+
 // Serve listens on addr and serves h until the process receives SIGINT
 // or SIGTERM, then shuts down gracefully, waiting up to drain for
-// in-flight requests (drain <= 0 selects DefaultDrain). It returns nil
-// after a clean drain, context.DeadlineExceeded if the drain timed out
+// in-flight requests (drain <= 0 selects DefaultDrain). After the
+// drain, each stop is called in order — request handling has ceased by
+// then, so stoppers never race in-flight traffic. It returns nil after
+// a clean drain, context.DeadlineExceeded if the drain timed out
 // (remaining connections were closed), or the listen error.
-func Serve(addr string, h http.Handler, drain time.Duration) error {
+func Serve(addr string, h http.Handler, drain time.Duration, stop ...Stopper) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	return ServeListener(ln, h, drain)
+	return ServeListener(ln, h, drain, stop...)
 }
 
 // ServeListener is Serve over an existing listener (tests use it to
 // learn the bound port before serving).
-func ServeListener(ln net.Listener, h http.Handler, drain time.Duration) error {
+func ServeListener(ln net.Listener, h http.Handler, drain time.Duration, stop ...Stopper) error {
 	if drain <= 0 {
 		drain = DefaultDrain
 	}
@@ -45,10 +52,19 @@ func ServeListener(ln net.Listener, h http.Handler, drain time.Duration) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
 
+	stopAll := func() {
+		for _, s := range stop {
+			if s != nil {
+				s.Stop()
+			}
+		}
+	}
+
 	select {
 	case err := <-errc:
 		// Serve never returns nil; anything here is a real listen/accept
 		// failure (Shutdown hasn't been called yet).
+		stopAll()
 		return err
 	case <-sig:
 		ctx, cancel := context.WithTimeout(context.Background(), drain)
@@ -58,6 +74,7 @@ func ServeListener(ln net.Listener, h http.Handler, drain time.Duration) error {
 			srv.Close()
 		}
 		<-errc // reap the Serve goroutine (returns ErrServerClosed)
+		stopAll()
 		return err
 	}
 }

@@ -73,6 +73,36 @@
 //	    trace via the W3C traceparent header and annotated with any
 //	    chaos-injected fault (pano_http_request_seconds aggregates it).
 //
+// The continuous-telemetry layer (internal/telemetry, the same
+// nil-is-off contract) scrapes this registry into windowed series and
+// evaluates burn-rate SLOs over the metrics above. Each default SLO
+// guards one paper claim (the same map lives in each SLO's Guards
+// field, shown at /debug/slo and on the dashboard):
+//
+//	rebuffer (rate of pano_{client,sim}_rebuffer_seconds_total vs wall time)
+//	    the buffering-ratio axis of Figures 12/17 — the paper's systems
+//	    comparison holds stall time near zero; the SLO budgets it at 5%.
+//	pspnr_floor (pano_{client,sim}_session_pspnr_db >= 30 dB)
+//	    the quality axis of Figures 13/15 — sessions below the Table 3
+//	    MOS-2 band are the regressions those figures would show.
+//	tile_p99 (p99 of pano_client_tile_attempt_seconds | pano_http_request_seconds <= 0.5s)
+//	    §6.2/§8.4 serving overhead — tile fetch tail latency within half
+//	    a chunk duration, the bound that keeps the §7 retry ladder off
+//	    the stall path.
+//	edge_hit (pano_edge_hit_ratio >= 0.5)
+//	    the edge-tier offload claim measured by BENCH_edge — the cache
+//	    absorbing most tile demand is what makes the §6.2 DASH-plain
+//	    interface CDN-friendly in practice.
+//	abort (pano_client_sessions_total{status=manifest_error|tile_error} vs all)
+//	    §7's resilience claim that sessions degrade but never abort;
+//	    terminal error statuses are budgeted at 2% of sessions.
+//
+// Event-ring overflow is itself observable: EventLog.ObserveDrops
+// mirrors the ring's drop count as pano_events_dropped_total, and the
+// telemetry sampler mirrors the tracer's bounded-store rejections as
+// the pano_trace_store_dropped_spans gauge — the two places the
+// observability layer could silently lose data.
+//
 // Histograms accept an optional exemplar per observation
 // (ObserveExemplar): the trace ID of the most recent observation in
 // each bucket, rendered as "# exemplar" comment lines alongside the

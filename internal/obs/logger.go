@@ -36,14 +36,22 @@ func (e Event) Str(key string) string {
 
 // ring is a fixed-capacity event buffer shared by handler clones.
 type ring struct {
-	mu   sync.Mutex
-	buf  []Event
-	next int
-	full bool
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	full    bool
+	dropped uint64
+	dropCt  *Counter // optional pano_events_dropped_total mirror
 }
 
 func (r *ring) add(e Event) {
 	r.mu.Lock()
+	if r.full {
+		// The buffer already wrapped: this write overwrites the oldest
+		// retained event — silent telemetry loss, made observable here.
+		r.dropped++
+		r.dropCt.Inc()
+	}
 	r.buf[r.next] = e
 	r.next = (r.next + 1) % len(r.buf)
 	if r.next == 0 {
@@ -178,6 +186,33 @@ func (l *EventLog) Logger() *slog.Logger {
 // ID, chunk count, tile count) attached to every subsequent record.
 func (l *EventLog) Session(attrs ...any) *slog.Logger {
 	return l.Logger().With(attrs...)
+}
+
+// Dropped reports how many events the ring buffer has overwritten
+// before anything read them — nonzero means the retained window is
+// shorter than the burst that produced it. Nil-safe.
+func (l *EventLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.ring.mu.Lock()
+	defer l.ring.mu.Unlock()
+	return l.ring.dropped
+}
+
+// ObserveDrops mirrors ring-buffer overwrites into reg as
+// pano_events_dropped_total, so silent event loss is itself a scrapable
+// signal. Call once at wiring time; nil receiver or registry is a
+// no-op.
+func (l *EventLog) ObserveDrops(reg *Registry) {
+	if l == nil || reg == nil {
+		return
+	}
+	ct := reg.Counter("pano_events_dropped_total",
+		"events overwritten by the ring buffer before being read")
+	l.ring.mu.Lock()
+	l.ring.dropCt = ct
+	l.ring.mu.Unlock()
 }
 
 // Events returns the buffered events, oldest first.

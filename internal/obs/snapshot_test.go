@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestSnapshotReadsEverySeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_requests_total", "requests", L("ep", "tile")).Add(7)
+	r.Counter("z_requests_total", "requests", L("ep", "manifest")).Add(3)
+	r.Gauge("a_buffer_sec", "buffer").Set(2.5)
+	h := r.Histogram("m_latency_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("len(snap) = %d, want 4", len(snap))
+	}
+	if !sort.SliceIsSorted(snap, func(i, j int) bool {
+		if snap[i].Name != snap[j].Name {
+			return snap[i].Name < snap[j].Name
+		}
+		return snap[i].Key < snap[j].Key
+	}) {
+		t.Errorf("snapshot not sorted by (name, key)")
+	}
+
+	byNameKey := map[string]SnapshotSeries{}
+	for _, s := range snap {
+		byNameKey[s.Name+"/"+s.Key] = s
+	}
+	found := 0
+	for _, s := range snap {
+		switch {
+		case s.Name == "a_buffer_sec":
+			if s.Type != "gauge" || s.Value != 2.5 {
+				t.Errorf("gauge series = %+v", s)
+			}
+			found++
+		case s.Name == "z_requests_total" && len(s.Labels) == 1 && s.Labels[0].Value == "tile":
+			if s.Type != "counter" || s.Value != 7 {
+				t.Errorf("counter series = %+v", s)
+			}
+			found++
+		case s.Name == "m_latency_seconds":
+			if s.Type != "histogram" || s.Count != 3 {
+				t.Errorf("histogram series = %+v", s)
+			}
+			wantCounts := []uint64{1, 1, 1} // <=0.1, <=1, +Inf
+			for i, c := range s.Counts {
+				if c != wantCounts[i] {
+					t.Errorf("bucket %d = %d, want %d", i, c, wantCounts[i])
+				}
+			}
+			if math.Abs(s.Sum-5.55) > 1e-9 {
+				t.Errorf("Sum = %v, want 5.55", s.Sum)
+			}
+			found++
+		}
+	}
+	if found != 3 {
+		t.Errorf("matched %d expected series, want 3", found)
+	}
+
+	// Key is stable across scrapes: the same series maps to the same key.
+	r.Counter("z_requests_total", "requests", L("ep", "tile")).Inc()
+	for _, s := range r.Snapshot() {
+		if s.Name == "z_requests_total" && s.Labels[0].Value == "tile" {
+			prev := byNameKey[s.Name+"/"+s.Key]
+			if prev.Key == "" {
+				t.Fatalf("series key changed across scrapes")
+			}
+			if s.Value != 8 {
+				t.Errorf("second scrape Value = %v, want 8", s.Value)
+			}
+		}
+	}
+
+	var nilReg *Registry
+	if nilReg.Snapshot() != nil {
+		t.Errorf("nil registry Snapshot should be nil")
+	}
+}
+
+func TestHistogramBucketsSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "l", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 100} {
+		h.Observe(v)
+	}
+	uppers, counts := h.Buckets()
+	if len(uppers) != 3 || len(counts) != 4 {
+		t.Fatalf("shape = %d uppers / %d counts", len(uppers), len(counts))
+	}
+	want := []uint64{1, 2, 1, 1}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Errorf("counts[%d] = %d, want %d", i, c, want[i])
+		}
+	}
+	var nilH *Histogram
+	if u, c := nilH.Buckets(); u != nil || c != nil {
+		t.Errorf("nil histogram Buckets = %v/%v, want nil/nil", u, c)
+	}
+}
+
+func TestHistogramQuantileKnownDistributions(t *testing.T) {
+	uppers := []float64{10, 20, 30, 40}
+
+	// Uniform 0..40: 100 observations spread evenly, 25 per bucket.
+	uniform := []uint64{25, 25, 25, 25, 0}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.25, 10}, {0.5, 20}, {0.75, 30}, {1, 40},
+		{0.125, 5},  // middle of the first bucket
+		{0.875, 35}, // middle of the last bucket
+	}
+	for _, c := range cases {
+		if got := HistogramQuantile(c.q, uppers, uniform); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("uniform q=%v: got %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// Skewed: 90 in the first bucket, 10 in the last finite one.
+	skew := []uint64{90, 0, 0, 10, 0}
+	if got := HistogramQuantile(0.5, uppers, skew); math.Abs(got-10.0/90*50) > 1e-9 {
+		t.Errorf("skew p50 = %v, want %v", got, 10.0/90*50)
+	}
+	if got := HistogramQuantile(0.95, uppers, skew); got <= 30 || got > 40 {
+		t.Errorf("skew p95 = %v, want in (30, 40]", got)
+	}
+
+	// Overflow saturation: mass in +Inf returns the top finite bound.
+	over := []uint64{1, 0, 0, 0, 9}
+	if got := HistogramQuantile(0.99, uppers, over); got != 40 {
+		t.Errorf("overflow p99 = %v, want 40 (saturated)", got)
+	}
+
+	// Degenerate shapes.
+	if got := HistogramQuantile(0.5, uppers, []uint64{0, 0, 0, 0, 0}); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	if got := HistogramQuantile(0.5, uppers, []uint64{1, 2}); got != 0 {
+		t.Errorf("mismatched lengths quantile = %v, want 0", got)
+	}
+	if got := HistogramQuantile(-1, uppers, uniform); got != 0 {
+		t.Errorf("q<0 = %v, want 0 (clamped to min)", got)
+	}
+	if got := HistogramQuantile(2, uppers, uniform); got != 40 {
+		t.Errorf("q>1 = %v, want 40 (clamped to max)", got)
+	}
+}
+
+func TestEventLogDropCounter(t *testing.T) {
+	reg := NewRegistry()
+	l := NewEventLog(nil, 4)
+	l.ObserveDrops(reg)
+	for i := 0; i < 10; i++ {
+		l.Logger().Info("evt", "i", i)
+	}
+	if got := l.Dropped(); got != 6 {
+		t.Errorf("Dropped() = %d, want 6", got)
+	}
+	if got := reg.CounterValue("pano_events_dropped_total"); got != 6 {
+		t.Errorf("pano_events_dropped_total = %v, want 6", got)
+	}
+	// Without ObserveDrops the ring still counts, just unmirrored.
+	l2 := NewEventLog(nil, 2)
+	for i := 0; i < 3; i++ {
+		l2.Logger().Info("evt")
+	}
+	if got := l2.Dropped(); got != 1 {
+		t.Errorf("unmirrored Dropped() = %d, want 1", got)
+	}
+	var nilLog *EventLog
+	nilLog.ObserveDrops(reg) // must not panic
+	if nilLog.Dropped() != 0 {
+		t.Errorf("nil log Dropped != 0")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"pano/internal/codec"
 	"pano/internal/manifest"
 	"pano/internal/obs"
+	"pano/internal/telemetry"
 	"pano/internal/trace"
 )
 
@@ -31,6 +32,7 @@ type Server struct {
 	reg    *obs.Registry
 	log    *obs.EventLog
 	tracer *trace.Tracer
+	tel    *telemetry.Sampler
 
 	// Cache-validation state: the manifest is encoded once at New so
 	// every response is byte-identical and its ETag is a true content
@@ -80,6 +82,15 @@ func WithTracer(t *trace.Tracer) Option {
 	return func(s *Server) { s.tracer = t }
 }
 
+// WithTelemetry attaches a windowed-telemetry sampler: SLO burn-rate
+// state becomes browsable at /debug/slo (JSON) and /debug/dash (live
+// SSE dashboard) on Handler. The caller owns the sampler's lifecycle
+// (Start/Stop — typically via graceful.Serve's stoppers). nil is the
+// no-op default and mounts nothing, keeping the serve path untouched.
+func WithTelemetry(t *telemetry.Sampler) Option {
+	return func(s *Server) { s.tel = t }
+}
+
 // New validates the manifest and returns a server for it.
 func New(m *manifest.Video, opts ...Option) (*Server, error) {
 	if err := m.Validate(); err != nil {
@@ -120,6 +131,10 @@ func New(m *manifest.Video, opts ...Option) (*Server, error) {
 //	                       (only with WithEventLog)
 //	GET /debug/traces    — finished traces as Chrome trace-event JSON
 //	                       (only with WithTracer; ?trace=<hex id> for one)
+//	GET /debug/slo       — SLO burn-rate state as JSON
+//	                       (only with WithTelemetry)
+//	GET /debug/dash      — live telemetry dashboard (HTML + SSE)
+//	                       (only with WithTelemetry)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/manifest.json", s.instrument("manifest", s.handleManifest))
@@ -133,6 +148,10 @@ func (s *Server) Handler() http.Handler {
 	}
 	if s.tracer != nil {
 		mux.Handle("/debug/traces", s.tracer.Handler())
+	}
+	if s.tel != nil {
+		mux.Handle("/debug/slo", s.tel.SLOHandler())
+		mux.Handle("/debug/dash", s.tel.DashHandler())
 	}
 	return mux
 }

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"runtime"
+	rtm "runtime/metrics"
+
+	"pano/internal/obs"
+)
+
+// Runtime health metric names written into the scraped registry (and
+// therefore into the windowed store) each sampling tick.
+const (
+	metricGoroutines  = "pano_runtime_goroutines"
+	metricHeapBytes   = "pano_runtime_heap_bytes"
+	metricGCCycles    = "pano_runtime_gc_cycles_total"
+	metricGCPauseP99  = "pano_runtime_gc_pause_p99_seconds"
+	metricSchedLatP99 = "pano_runtime_sched_latency_p99_seconds"
+)
+
+// runtimeSampler reads Go runtime health (heap, GC, goroutines,
+// scheduler latency) via runtime/metrics into plain obs gauges, so
+// runtime signals flow through the same windowed store and dashboard
+// as QoE signals.
+type runtimeSampler struct {
+	reg     *obs.Registry
+	samples []rtm.Sample
+
+	goroutines *obs.Gauge
+	heapBytes  *obs.Gauge
+	gcCycles   *obs.Counter
+	gcPause    *obs.Gauge
+	schedLat   *obs.Gauge
+
+	lastGCCycles uint64
+	lastGCPause  *rtm.Float64Histogram
+	lastSched    *rtm.Float64Histogram
+}
+
+const (
+	rmHeap    = "/memory/classes/heap/objects:bytes"
+	rmGC      = "/gc/cycles/total:gc-cycles"
+	rmGCPause = "/gc/pauses:seconds"
+	rmSched   = "/sched/latencies:seconds"
+)
+
+func newRuntimeSampler(reg *obs.Registry) *runtimeSampler {
+	rs := &runtimeSampler{
+		reg: reg,
+		samples: []rtm.Sample{
+			{Name: rmHeap}, {Name: rmGC}, {Name: rmGCPause}, {Name: rmSched},
+		},
+		goroutines: reg.Gauge(metricGoroutines, "live goroutines"),
+		heapBytes:  reg.Gauge(metricHeapBytes, "bytes of live heap objects"),
+		gcCycles:   reg.Counter(metricGCCycles, "completed GC cycles"),
+		gcPause:    reg.Gauge(metricGCPauseP99, "p99 GC stop-the-world pause over the last sampling interval"),
+		schedLat:   reg.Gauge(metricSchedLatP99, "p99 goroutine scheduling latency over the last sampling interval"),
+	}
+	return rs
+}
+
+// sample reads the runtime once and updates the gauges. Histogram-typed
+// runtime metrics are cumulative since process start, so p99s are
+// computed over the delta since the previous sample — a true "last
+// interval" tail, not a lifetime average.
+func (rs *runtimeSampler) sample() {
+	rs.goroutines.Set(float64(runtime.NumGoroutine()))
+	rtm.Read(rs.samples)
+	for i := range rs.samples {
+		s := &rs.samples[i]
+		switch s.Name {
+		case rmHeap:
+			if s.Value.Kind() == rtm.KindUint64 {
+				rs.heapBytes.Set(float64(s.Value.Uint64()))
+			}
+		case rmGC:
+			if s.Value.Kind() == rtm.KindUint64 {
+				v := s.Value.Uint64()
+				if v > rs.lastGCCycles {
+					rs.gcCycles.Add(float64(v - rs.lastGCCycles))
+				}
+				rs.lastGCCycles = v
+			}
+		case rmGCPause:
+			if s.Value.Kind() == rtm.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				rs.gcPause.Set(histDeltaQuantile(0.99, h, rs.lastGCPause))
+				rs.lastGCPause = cloneHist(h)
+			}
+		case rmSched:
+			if s.Value.Kind() == rtm.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				rs.schedLat.Set(histDeltaQuantile(0.99, h, rs.lastSched))
+				rs.lastSched = cloneHist(h)
+			}
+		}
+	}
+}
+
+func cloneHist(h *rtm.Float64Histogram) *rtm.Float64Histogram {
+	return &rtm.Float64Histogram{
+		Counts:  append([]uint64(nil), h.Counts...),
+		Buckets: h.Buckets, // bucket layout is fixed for a metric
+	}
+}
+
+// histDeltaQuantile estimates the q-quantile of cur-minus-prev on a
+// runtime/metrics histogram (len(Buckets) == len(Counts)+1; the first
+// and last boundaries may be ±Inf). An empty delta returns 0.
+func histDeltaQuantile(q float64, cur, prev *rtm.Float64Histogram) float64 {
+	counts := make([]uint64, len(cur.Counts))
+	var total uint64
+	for i, c := range cur.Counts {
+		if prev != nil && len(prev.Counts) == len(cur.Counts) && prev.Counts[i] <= c {
+			c -= prev.Counts[i]
+		} else if prev != nil && len(prev.Counts) == len(cur.Counts) {
+			c = 0
+		}
+		counts[i] = c
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank > next {
+			cum = next
+			continue
+		}
+		lo, hi := cur.Buckets[i], cur.Buckets[i+1]
+		if lo < 0 || lo != lo { // -Inf or NaN lower edge
+			lo = 0
+		}
+		if hi > lo && hi == hi && !isInf(hi) {
+			frac := (rank - cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		return lo
+	}
+	return 0
+}
+
+func isInf(v float64) bool { return v > 1e308 || v < -1e308 }

@@ -1,0 +1,420 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"pano/internal/obs"
+)
+
+// Point is one windowed sample of a series.
+type Point struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+// ring is a fixed-capacity Point buffer.
+type ring struct {
+	pts  []Point
+	next int
+	full bool
+}
+
+func newRing(n int) *ring { return &ring{pts: make([]Point, n)} }
+
+func (r *ring) add(p Point) {
+	r.pts[r.next] = p
+	r.next = (r.next + 1) % len(r.pts)
+	if r.next == 0 {
+		r.full = true
+	}
+}
+
+// points returns the retained samples, oldest first.
+func (r *ring) points() []Point {
+	if !r.full {
+		return append([]Point(nil), r.pts[:r.next]...)
+	}
+	out := make([]Point, 0, len(r.pts))
+	out = append(out, r.pts[r.next:]...)
+	out = append(out, r.pts[:r.next]...)
+	return out
+}
+
+func (r *ring) latest() (Point, bool) {
+	if r.next == 0 && !r.full {
+		return Point{}, false
+	}
+	i := r.next - 1
+	if i < 0 {
+		i = len(r.pts) - 1
+	}
+	return r.pts[i], true
+}
+
+// atOrBefore returns the most recent point with T <= t; when every
+// retained point is newer it falls back to the oldest (the window is
+// clamped to available history, so a young process evaluates its slow
+// window over whatever it has — standard burn-rate behaviour).
+func (r *ring) atOrBefore(t time.Time) (Point, bool) {
+	pts := r.points()
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	best := pts[0]
+	for _, p := range pts {
+		if p.T.After(t) {
+			break
+		}
+		best = p
+	}
+	return best, true
+}
+
+// SeriesKind distinguishes how a windowed series is interpreted.
+type SeriesKind int
+
+const (
+	// GaugeSeries samples are instantaneous values.
+	GaugeSeries SeriesKind = iota
+	// CounterSeries samples are the source counter's cumulative value;
+	// rates and window deltas are derived between samples.
+	CounterSeries
+)
+
+// Series is one counter or gauge metric's windowed history.
+type Series struct {
+	Name   string
+	Labels []obs.Label
+	Kind   SeriesKind
+	ring   *ring
+}
+
+// Points returns the retained samples, oldest first.
+func (s *Series) Points() []Point { return s.ring.points() }
+
+// Last returns the most recent sample (false when empty).
+func (s *Series) Last() (Point, bool) { return s.ring.latest() }
+
+// DeltaSince returns the counter increase over [t, latest]; gauges
+// return the difference of endpoint samples. False when fewer than one
+// sample is retained.
+func (s *Series) DeltaSince(t time.Time) (float64, bool) {
+	last, ok := s.ring.latest()
+	if !ok {
+		return 0, false
+	}
+	first, ok := s.ring.atOrBefore(t)
+	if !ok {
+		return 0, false
+	}
+	d := last.V - first.V
+	if s.Kind == CounterSeries && d < 0 {
+		// Source restarted (counter reset): count from zero.
+		d = last.V
+	}
+	return d, true
+}
+
+// RateSince returns the per-second rate over [t, latest] (0 when the
+// window has no extent yet).
+func (s *Series) RateSince(t time.Time) float64 {
+	last, ok := s.ring.latest()
+	if !ok {
+		return 0
+	}
+	first, _ := s.ring.atOrBefore(t)
+	dt := last.T.Sub(first.T).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	d, _ := s.DeltaSince(t)
+	return d / dt
+}
+
+// histSnap is one scrape of a histogram's cumulative state.
+type histSnap struct {
+	t      time.Time
+	counts []uint64 // per-bucket incl +Inf last, cumulative since process start
+	count  uint64
+	sum    float64
+}
+
+// HistSeries is one histogram metric's windowed bucket history.
+type HistSeries struct {
+	Name   string
+	Labels []obs.Label
+	Uppers []float64
+	snaps  []histSnap
+	next   int
+	full   bool
+}
+
+func (h *HistSeries) add(s histSnap) {
+	h.snaps[h.next] = s
+	h.next = (h.next + 1) % len(h.snaps)
+	if h.next == 0 {
+		h.full = true
+	}
+}
+
+func (h *HistSeries) ordered() []histSnap {
+	if !h.full {
+		return h.snaps[:h.next]
+	}
+	out := make([]histSnap, 0, len(h.snaps))
+	out = append(out, h.snaps[h.next:]...)
+	out = append(out, h.snaps[:h.next]...)
+	return out
+}
+
+// deltaSince returns per-bucket count deltas (and total-count delta)
+// over [t, latest], clamped to available history.
+func (h *HistSeries) deltaSince(t time.Time) (counts []uint64, n uint64, ok bool) {
+	snaps := h.ordered()
+	if len(snaps) == 0 {
+		return nil, 0, false
+	}
+	last := snaps[len(snaps)-1]
+	first := snaps[0]
+	for _, s := range snaps {
+		if s.t.After(t) {
+			break
+		}
+		first = s
+	}
+	if last.count < first.count || len(last.counts) != len(first.counts) {
+		// Reset: treat the latest cumulative state as the delta.
+		return append([]uint64(nil), last.counts...), last.count, true
+	}
+	counts = make([]uint64, len(last.counts))
+	for i := range counts {
+		if last.counts[i] >= first.counts[i] {
+			counts[i] = last.counts[i] - first.counts[i]
+		}
+	}
+	return counts, last.count - first.count, true
+}
+
+// QuantileSince estimates the q-quantile of observations made during
+// [t, latest] by interpolating the windowed bucket deltas.
+func (h *HistSeries) QuantileSince(q float64, t time.Time) (float64, bool) {
+	counts, n, ok := h.deltaSince(t)
+	if !ok || n == 0 {
+		return 0, false
+	}
+	return obs.HistogramQuantile(q, h.Uppers, counts), true
+}
+
+// CountSince returns how many observations landed in [t, latest].
+func (h *HistSeries) CountSince(t time.Time) uint64 {
+	_, n, _ := h.deltaSince(t)
+	return n
+}
+
+// Store is the in-process time-series database: every registry series,
+// sampled on a fixed interval into fixed-size rings. All methods are
+// safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	capN   int
+	series map[string]*Series     // key: name + "\xff" + labelKey
+	hists  map[string]*HistSeries // same keying
+	byName map[string][]string    // family name -> series keys, insertion order
+}
+
+// NewStore returns a store retaining capN samples per series.
+func NewStore(capN int) *Store {
+	if capN <= 0 {
+		capN = 360
+	}
+	return &Store{
+		capN:   capN,
+		series: make(map[string]*Series),
+		hists:  make(map[string]*HistSeries),
+		byName: make(map[string][]string),
+	}
+}
+
+// Observe records one registry snapshot taken at time t.
+func (st *Store) Observe(t time.Time, snap []obs.SnapshotSeries) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, ss := range snap {
+		key := ss.Name + "\xff" + ss.Key
+		switch ss.Type {
+		case "histogram":
+			h := st.hists[key]
+			if h == nil {
+				h = &HistSeries{
+					Name: ss.Name, Labels: ss.Labels, Uppers: ss.Uppers,
+					snaps: make([]histSnap, st.capN),
+				}
+				st.hists[key] = h
+				st.byName[ss.Name] = append(st.byName[ss.Name], key)
+			}
+			h.add(histSnap{
+				t: t, counts: append([]uint64(nil), ss.Counts...),
+				count: ss.Count, sum: ss.Sum,
+			})
+		default:
+			s := st.series[key]
+			if s == nil {
+				kind := GaugeSeries
+				if ss.Type == "counter" {
+					kind = CounterSeries
+				}
+				s = &Series{Name: ss.Name, Labels: ss.Labels, Kind: kind, ring: newRing(st.capN)}
+				st.series[key] = s
+				st.byName[ss.Name] = append(st.byName[ss.Name], key)
+			}
+			s.ring.add(Point{T: t, V: ss.Value})
+		}
+	}
+}
+
+// Family returns every counter/gauge series of one metric name.
+func (st *Store) Family(name string) []*Series {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []*Series
+	for _, k := range st.byName[name] {
+		if s := st.series[k]; s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// HistFamily returns every histogram series of one metric name.
+func (st *Store) HistFamily(name string) []*HistSeries {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []*HistSeries
+	for _, k := range st.byName[name] {
+		if h := st.hists[k]; h != nil {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Names returns every stored family name, sorted.
+func (st *Store) Names() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]string, 0, len(st.byName))
+	for n := range st.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns how many distinct series the store holds.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.series) + len(st.hists)
+}
+
+// labelsMatch reports whether ls has key with one of the wanted values
+// (an empty key matches everything).
+func labelsMatch(ls []obs.Label, key string, vals []string) bool {
+	if key == "" {
+		return true
+	}
+	for _, l := range ls {
+		if l.Key != key {
+			continue
+		}
+		for _, v := range vals {
+			if l.Value == v {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// DeltaSum sums the window delta over every series of the named
+// families whose labels match (key, vals); ok reports whether any
+// matching series had data.
+func (st *Store) DeltaSum(names []string, key string, vals []string, since time.Time) (sum float64, ok bool) {
+	for _, name := range names {
+		for _, s := range st.Family(name) {
+			if !labelsMatch(s.Labels, key, vals) {
+				continue
+			}
+			if d, has := s.DeltaSince(since); has {
+				sum += d
+				ok = true
+			}
+		}
+	}
+	return sum, ok
+}
+
+// ViolationFrac returns the fraction of retained samples in [since,
+// now] that violate a threshold (below floor when above is false, above
+// ceiling when true), pooled across the named gauge families.
+func (st *Store) ViolationFrac(names []string, since time.Time, threshold float64, above bool) (frac float64, n int) {
+	var bad int
+	for _, name := range names {
+		for _, s := range st.Family(name) {
+			for _, p := range s.Points() {
+				if p.T.Before(since) {
+					continue
+				}
+				n++
+				if (above && p.V > threshold) || (!above && p.V < threshold) {
+					bad++
+				}
+			}
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(bad) / float64(n), n
+}
+
+// QuantileMax estimates the windowed q-quantile of each named histogram
+// family (bucket deltas merged across a family's series) and returns
+// the worst (highest) across families — the conservative read when
+// client- and server-side latency families coexist in one registry.
+func (st *Store) QuantileMax(names []string, q float64, since time.Time) (v float64, ok bool) {
+	for _, name := range names {
+		hs := st.HistFamily(name)
+		if len(hs) == 0 {
+			continue
+		}
+		// Merge bucket deltas across the family's label sets (one bucket
+		// layout per family by construction of obs.Registry).
+		var merged []uint64
+		var total uint64
+		uppers := hs[0].Uppers
+		for _, h := range hs {
+			counts, n, has := h.deltaSince(since)
+			if !has || len(counts) != len(uppers)+1 {
+				continue
+			}
+			if merged == nil {
+				merged = make([]uint64, len(counts))
+			}
+			for i, c := range counts {
+				merged[i] += c
+			}
+			total += n
+		}
+		if total == 0 {
+			continue
+		}
+		if fv := obs.HistogramQuantile(q, uppers, merged); !ok || fv > v {
+			v, ok = fv, true
+		}
+	}
+	return v, ok
+}

@@ -35,6 +35,7 @@ import (
 	"pano/internal/scene"
 	"pano/internal/server"
 	"pano/internal/sim"
+	"pano/internal/telemetry"
 	"pano/internal/trace"
 	"pano/internal/viewport"
 
@@ -127,6 +128,21 @@ type (
 	// EdgeConfig tunes an Edge (origin URL, cache budget, TTLs, origin
 	// FetchPolicy, prefetch budget and peer traces, observability).
 	EdgeConfig = edge.Config
+	// TelemetrySampler periodically scrapes a Metrics registry into
+	// windowed ring-buffer series, samples Go runtime health, and
+	// evaluates SLO burn rates (ok/warn/page with flap damping); serve
+	// its SLOHandler/DashHandler or pass it to server.WithTelemetry /
+	// EdgeConfig.Telemetry for /debug/slo and /debug/dash. A nil sampler
+	// is a valid no-op.
+	TelemetrySampler = telemetry.Sampler
+	// TelemetryConfig tunes a TelemetrySampler (registry, scrape
+	// interval, retained window, SLO set, event/trace sinks).
+	TelemetryConfig = telemetry.Config
+	// SLO is one declarative objective (rate, floor, ceiling, or
+	// quantile) with burn windows and alert thresholds.
+	SLO = telemetry.SLO
+	// SLOStatus is one SLO's current evaluation, as served by /debug/slo.
+	SLOStatus = telemetry.SLOStatus
 )
 
 // NewJNDFieldCache returns a content-JND field cache holding at most
@@ -274,3 +290,19 @@ func TraceHTTP(t *Tracer, next http.Handler) http.Handler { return trace.Middlew
 func WriteChromeTrace(w io.Writer, traces ...*TraceData) error {
 	return trace.WriteChromeTrace(w, traces...)
 }
+
+// NewTelemetry returns a windowed-telemetry sampler over a Metrics
+// registry (nil registry yields the no-op nil sampler). Call Start for
+// wall-clock sampling or Step for deterministic logical time, and Stop
+// on shutdown.
+func NewTelemetry(cfg TelemetryConfig) *TelemetrySampler { return telemetry.New(cfg) }
+
+// DefaultSLOs returns the stock QoE objective set (rebuffer ratio,
+// viewport-PSPNR floor, tile-fetch p99, edge hit ratio, session abort
+// rate), each annotated with the paper claim it guards.
+func DefaultSLOs() []SLO { return telemetry.DefaultSLOs() }
+
+// ParseSLOs parses the compact -slo flag grammar ("default",
+// "rebuffer<=0.02;edge_hit=off", window/burn suffixes) into an SLO
+// set; "" disables telemetry.
+func ParseSLOs(spec string) ([]SLO, error) { return telemetry.ParseSLOs(spec) }
