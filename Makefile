@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmt race race-kernels chaos trace edge dash benchdiff bench microbench clean
+.PHONY: build test check vet fmt race race-kernels chaos trace edge dash swarm benchdiff bench microbench clean
 
 build:
 	$(GO) build ./...
@@ -67,13 +67,28 @@ dash:
 	$(GO) test -race ./internal/telemetry ./internal/obs -count 1
 	$(GO) run ./cmd/pano-bench -scale quick telemetry
 
+# The virtual-time swarm: the determinism lockdown (byte-identical
+# summaries across runs and worker counts), the sim-equivalence
+# property, and the client clock-audit under the race detector; then
+# the population-scaling experiment (1k → 1M sessions, lands in
+# BENCH_swarm.json) gated against the committed baseline. Wall-clock
+# columns measure the machine, not the system, so the gate ignores
+# them.
+swarm:
+	$(GO) test -race ./internal/swarm ./internal/viewport -count 1
+	$(GO) test -race ./internal/client -run 'Clock|WallClock|Session' -count 1
+	$(GO) run ./cmd/pano-bench -scale quick swarm
+	$(GO) run ./cmd/pano-benchdiff -threshold 0.10 \
+		-ignore wall_sec,sessions_per_wall_sec \
+		baseline/BENCH_swarm.json BENCH_swarm.json
+
 # Compare two benchmark runs: files or directories of BENCH_*.json.
 # Usage: make benchdiff OLD=baseline/ NEW=. [THRESHOLD=0.10]
 THRESHOLD ?= 0.10
 benchdiff:
 	$(GO) run ./cmd/pano-benchdiff -threshold $(THRESHOLD) $(OLD) $(NEW)
 
-check: vet fmt race race-kernels chaos trace edge dash
+check: vet fmt race race-kernels chaos trace edge dash swarm
 
 # Quick-scale paper evaluation; writes BENCH_<id>.json files.
 bench: build microbench

@@ -17,6 +17,12 @@
 // cell moved by more than t relative to the old value (both directions
 // — without knowing a metric's polarity, any large move is worth a
 // human look). -threshold 0 (default) reports only.
+//
+// -ignore takes a comma-separated list of column names to exclude from
+// threshold enforcement (they are still reported). Use it for columns
+// that measure the machine rather than the system under test — wall
+// seconds, sessions per wall second — which would otherwise make the
+// gate flake on every hardware change.
 package main
 
 import (
@@ -58,7 +64,10 @@ func main() {
 	threshold := flag.Float64("threshold", 0,
 		"max allowed relative change per numeric cell before exiting 1 (0 = report only)")
 	quiet := flag.Bool("quiet", false, "print only cells exceeding the threshold")
+	ignore := flag.String("ignore", "",
+		"comma-separated column names exempt from the threshold (machine-dependent metrics)")
 	flag.Parse()
+	ignored := ignoredColumns(*ignore)
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: pano-benchdiff [-threshold 0.1] <old.json|old-dir> <new.json|new-dir>")
 		os.Exit(2)
@@ -92,7 +101,7 @@ func main() {
 			short(a.Commit), firstNonEmpty(a.Time, "?"), strings.TrimPrefix(a.GoVersion, "go"),
 			short(b.Commit), firstNonEmpty(b.Time, "?"), strings.TrimPrefix(b.GoVersion, "go"))
 		for _, d := range diffRecords(a, b) {
-			over := d.Numeric && *threshold > 0 && math.Abs(d.Rel) > *threshold
+			over := d.Numeric && *threshold > 0 && math.Abs(d.Rel) > *threshold && !ignored[d.Col]
 			if over {
 				regressions++
 			}
@@ -119,6 +128,17 @@ func main() {
 			regressions, 100**threshold)
 		os.Exit(1)
 	}
+}
+
+// ignoredColumns parses the -ignore flag into a lookup set.
+func ignoredColumns(s string) map[string]bool {
+	out := make(map[string]bool)
+	for _, c := range strings.Split(s, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			out[c] = true
+		}
+	}
+	return out
 }
 
 // resolvePairs maps the two arguments to (old, new) file pairs: either

@@ -122,3 +122,13 @@ func TestResolvePairsFiles(t *testing.T) {
 		t.Fatal("mixed file/dir arguments should error")
 	}
 }
+
+func TestIgnoredColumns(t *testing.T) {
+	got := ignoredColumns(" wall_sec, sessions_per_wall_sec ,,")
+	if len(got) != 2 || !got["wall_sec"] || !got["sessions_per_wall_sec"] {
+		t.Fatalf("ignoredColumns = %v", got)
+	}
+	if len(ignoredColumns("")) != 0 {
+		t.Fatal("empty -ignore should yield no columns")
+	}
+}

@@ -143,41 +143,64 @@ func (in *Injector) endpointRule(path string) (string, Rule, bool) {
 	return "", Rule{}, false
 }
 
-// decision is the fault plan for one request, fully resolved before the
-// wrapped handler runs.
-type decision struct {
-	abort    bool
-	error500 bool
-	truncate bool
-	stall    bool
-	latency  time.Duration
+// Outcome is the fault plan for one request, fully resolved before any
+// byte moves — the exported form of the middleware's per-request
+// decision, so logical transports (internal/swarm's virtual network)
+// can replay the exact fault streams an HTTP session would see.
+type Outcome struct {
+	// Abort kills the connection before any response byte.
+	Abort bool
+	// Error500 answers 500 without reaching the handler.
+	Error500 bool
+	// Truncate serves roughly half the body then kills the connection;
+	// Stall pauses Rule.StallFor mid-body. Both can fire together.
+	Truncate bool
+	Stall    bool
+	// Latency is the injected pre-handler delay (Rule.Latency plus the
+	// drawn jitter share).
+	Latency time.Duration
 }
 
-// decide draws the request's fault plan from (seed, path, per-path
-// attempt n). The draws happen in a fixed order so each fault type's
-// stream is stable as other rates change.
-func decide(seed uint64, path string, n uint64, r Rule) decision {
-	h := fnv.New64a()
-	h.Write([]byte(path))
-	rng := mathx.NewRNG(seed ^ h.Sum64() ^ (n * 0x9e3779b97f4a7c15))
+// Draw resolves the fault plan for the n-th request with the given
+// draw key under rule r. The draws happen in a fixed order so each
+// fault type's stream is stable as other rates change, and precedence
+// is abort > 500 > truncate|stall. The HTTP middleware keys its own
+// draws with KeyString(path), so a non-HTTP transport keyed the same
+// way reproduces its sequence exactly.
+func (r Rule) Draw(seed, key, n uint64) Outcome {
+	rng := mathx.NewRNG(seed ^ key ^ (n * 0x9e3779b97f4a7c15))
 	uAbort := rng.Float64()
 	uErr := rng.Float64()
 	uTrunc := rng.Float64()
 	uStall := rng.Float64()
 	uJitter := rng.Float64()
 
-	var d decision
+	var d Outcome
 	switch {
 	case uAbort < r.AbortRate:
-		d.abort = true
+		d.Abort = true
 	case uErr < r.ErrorRate:
-		d.error500 = true
+		d.Error500 = true
 	default:
-		d.truncate = uTrunc < r.TruncateRate
-		d.stall = uStall < r.StallRate
+		d.Truncate = uTrunc < r.TruncateRate
+		d.Stall = uStall < r.StallRate
 	}
-	d.latency = r.Latency + time.Duration(float64(r.Jitter)*uJitter)
+	d.Latency = r.Latency + time.Duration(float64(r.Jitter)*uJitter)
 	return d
+}
+
+// KeyString hashes a request path into a draw key (fnv-64a), matching
+// the middleware's keying of Draw.
+func KeyString(path string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	return h.Sum64()
+}
+
+// decide draws the request's fault plan from (seed, path, per-path
+// attempt n).
+func decide(seed uint64, path string, n uint64, r Rule) Outcome {
+	return r.Draw(seed, KeyString(path), n)
 }
 
 // Wrap returns a handler injecting the profile's faults in front of
@@ -212,29 +235,29 @@ func (in *Injector) Wrap(next http.Handler) http.Handler {
 		// injector), every injected fault is annotated on the active
 		// handler span, so a failed attempt's trace names its cause.
 		sp := trace.FromContext(r.Context())
-		if d.latency > 0 {
+		if d.Latency > 0 {
 			in.count(endpoint, "latency")
-			sp.Annotate("chaos.latency_sec", d.latency.Seconds())
-			time.Sleep(d.latency)
+			sp.Annotate("chaos.latency_sec", d.Latency.Seconds())
+			time.Sleep(d.Latency)
 		}
 		switch {
-		case d.abort:
+		case d.Abort:
 			in.inject(endpoint, "abort", r)
 			sp.Annotate("chaos.abort", true)
 			panic(http.ErrAbortHandler)
-		case d.error500:
+		case d.Error500:
 			in.inject(endpoint, "error", r)
 			sp.Annotate("chaos.error", true)
 			http.Error(w, "chaos: injected error", http.StatusInternalServerError)
 			return
 		}
 		cw := &chaosWriter{rw: w, throttleBps: rule.ThrottleBps, truncateAt: -1, stallAt: -1}
-		if d.truncate {
+		if d.Truncate {
 			in.inject(endpoint, "truncate", r)
 			sp.Annotate("chaos.truncate", true)
 			cw.truncate = true
 		}
-		if d.stall {
+		if d.Stall {
 			in.inject(endpoint, "stall", r)
 			sp.Annotate("chaos.stall", true)
 			cw.stall = true

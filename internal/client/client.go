@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"time"
 
@@ -140,6 +141,12 @@ type ChunkResult struct {
 	Retries  int
 	Degraded int
 	Skipped  int
+	// Stale marks tiles that were skipped (their on-screen content is
+	// the previous chunk's), indexed like Levels; nil when no tile was
+	// skipped. It lets callers re-score the delivered frame — e.g. the
+	// swarm engine's ground-truth PSPNR — without re-deriving the
+	// ladder outcome.
+	Stale []bool
 }
 
 // StreamConfig tunes a streaming session.
@@ -171,6 +178,25 @@ type StreamConfig struct {
 	// server-side handler spans into the same trace. nil disables
 	// tracing at zero cost (no span is ever allocated).
 	Trace *trace.Tracer
+	// Clock supplies every time observation the loop makes (downloads,
+	// backoffs, attempt deadlines, pacing). nil selects RealClock;
+	// internal/swarm injects a virtual clock to run sessions in
+	// discrete-event time.
+	Clock Clock
+	// MaxBufferSec caps prefetch like sim.Config.MaxBufferSec: when the
+	// post-chunk buffer would exceed it, the session idles on the Clock
+	// without draining (playback continues against buffered media).
+	// 0 disables pacing — the historical HTTP behaviour, where the
+	// real link is the pace.
+	MaxBufferSec float64
+	// SimModel aligns the chunk-level control model with sim.Run so a
+	// virtual-transport session reproduces the simulator's decisions:
+	// cold start pins prev to the lowest level, the MPC horizon uses
+	// reference-PSPNR qualities (player.MeanRefPSPNR/10) instead of
+	// level ranks, and leftover predicted capacity tops up the tile
+	// budget. Off (the default) keeps the HTTP client's historical
+	// model bit-for-bit.
+	SimModel bool
 }
 
 // StreamResult summarizes an HTTP streaming session.
@@ -215,7 +241,16 @@ func (r *StreamResult) MOS() int { return quality.MOSFromPSPNR(r.MeanEstPSPNR) }
 // When cfg.Log is attached, Stream emits a session_summary event on
 // every exit path — success or failure — with a terminal status: "ok",
 // "tile_degraded", "tile_skipped", "manifest_error", or "canceled".
-func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfig) (result *StreamResult, err error) {
+func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfig) (*StreamResult, error) {
+	return RunSession(ctx, c, tr, cfg)
+}
+
+// RunSession runs the full adaptive session loop (estimate → MPC →
+// assign → fetch → stitch → QoE) over an arbitrary Transport and
+// Clock. Client.Stream is this loop over HTTP and the wall clock;
+// internal/swarm runs the same loop over a logical network in virtual
+// time. See Stream for the loop's contract.
+func RunSession(ctx context.Context, tp Transport, tr *viewport.Trace, cfg StreamConfig) (result *StreamResult, err error) {
 	if cfg.BufferTargetSec == 0 {
 		cfg.BufferTargetSec = 2
 	}
@@ -223,20 +258,24 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 		cfg.Planner = player.NewPanoPlanner()
 	}
 	cfg.Planner = player.Instrument(cfg.Planner, cfg.Obs)
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock{}
+	}
+	clk := cfg.Clock
 	instrumented := cfg.Obs != nil || cfg.Log != nil
 	pol := cfg.Fetch.withDefaults()
 
 	res := &StreamResult{}
-	sess := cfg.Log.Session("planner", cfg.Planner.Name(), "base_url", c.BaseURL)
+	sess := cfg.Log.Session("planner", cfg.Planner.Name(), "base_url", tp.Target())
 	ctx, sessSpan := cfg.Trace.Start(ctx, "session",
 		trace.A("component", "client"), trace.A("planner", cfg.Planner.Name()),
-		trace.A("base_url", c.BaseURL))
+		trace.A("base_url", tp.Target()))
 	res.TraceID = sessSpan.TraceHex()
 	if res.TraceID != "" {
 		sess = sess.With("trace_id", res.TraceID)
 	}
 	stage := "manifest"
-	start := time.Now()
+	start := clk.Now()
 	defer func() {
 		status := "ok"
 		switch {
@@ -264,7 +303,7 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 			"status", status, "chunks_streamed", len(res.Chunks),
 			"total_bytes", res.TotalBytes, "rebuffer_sec", res.RebufferSec,
 			"startup_sec", res.StartupDelay.Seconds(),
-			"elapsed_sec", time.Since(start).Seconds(),
+			"elapsed_sec", clk.Since(start).Seconds(),
 			"retries", res.TotalRetries,
 			"tiles_degraded", res.DegradedTiles, "tiles_skipped", res.SkippedTiles,
 		}
@@ -277,7 +316,7 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 		sess.Info("session_summary", args...)
 	}()
 
-	m, err := c.FetchManifest(ctx)
+	m, err := tp.Manifest(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -331,34 +370,52 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 		var budget float64
 		if pred == 0 {
 			budget = m.ChunkBits(k, codec.Level(codec.NumLevels-1))
+			if cfg.SimModel {
+				// Cold start pins prev so the switch penalty binds from
+				// chunk 1, as in sim.Run.
+				prev = codec.Level(codec.NumLevels - 1)
+			}
 		} else {
 			horizon := make([]abr.ChunkPlan, 0, mpc.Horizon)
 			for j := k; j < k+mpc.Horizon && j < m.NumChunks(); j++ {
 				var p abr.ChunkPlan
 				for l := 0; l < codec.NumLevels; l++ {
 					p.Bits[l] = m.ChunkBits(j, codec.Level(l))
-					p.Quality[l] = float64(codec.NumLevels - l)
+					if cfg.SimModel {
+						p.Quality[l] = player.MeanRefPSPNR(m, j, codec.Level(l)) / 10
+					} else {
+						p.Quality[l] = float64(codec.NumLevels - l)
+					}
 				}
 				horizon = append(horizon, p)
 			}
 			lv := mpc.PickLevelCtx(cctx, buffer, pred, m.ChunkSec, prev, horizon)
 			budget = m.ChunkBits(k, lv)
 			prev = lv
+			if cfg.SimModel {
+				// The level menu is coarse; fill the remaining predicted
+				// capacity (sim.Run's top-up) so the tile allocator can
+				// spend what the link actually offers.
+				capacity := 0.9 * pred * (m.ChunkSec + math.Max(0, buffer-cfg.BufferTargetSec))
+				if capacity > budget {
+					budget = math.Min(capacity, m.ChunkBits(k, 0))
+				}
+			}
 		}
 		// Phase: per-tile quality assignment.
 		alloc := player.PlanWithContext(cctx, cfg.Planner, m, k, view, budget)
 
 		// Phase: tile fetches through the resilient ladder.
 		fctx, fSpan := trace.StartSpan(cctx, "fetch")
-		t0 := time.Now()
+		t0 := clk.Now()
 		bytes := 0
-		var goodBytes int
+		var goodBits float64
 		var goodTime time.Duration
 		var retries, degraded, skipped int
 		delivered := append(abr.Allocation(nil), alloc...)
 		var stale []bool
 		for ti, l := range alloc {
-			tf, ferr := c.fetchTileResilient(fctx, k, ti, l, pol, buffer, k == 0, fetchRNG, ins, sess)
+			tf, ferr := fetchTileResilient(fctx, tp, clk, k, ti, l, pol, buffer, k == 0, fetchRNG, ins, sess)
 			retries += tf.retries
 			if ferr != nil {
 				res.TotalRetries += retries
@@ -380,11 +437,11 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 			if tf.degraded {
 				degraded++
 			}
-			bytes += len(tf.data)
-			goodBytes += len(tf.data)
+			bytes += int(tf.bits) / 8
+			goodBits += tf.bits
 			goodTime += tf.goodput
 		}
-		dl := time.Since(t0)
+		dl := clk.Since(t0)
 		if dl <= 0 {
 			dl = time.Microsecond
 		}
@@ -396,23 +453,23 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 		// Throughput from successful attempts only: retry and backoff
 		// overhead must not poison the bandwidth predictor.
 		var thr float64
-		if goodBytes > 0 {
+		if goodBits > 0 {
 			if goodTime <= 0 {
 				goodTime = time.Microsecond
 			}
-			thr = float64(goodBytes*8) / goodTime.Seconds()
+			thr = goodBits / goodTime.Seconds()
 			bw.Observe(thr)
 		}
 		res.Chunks = append(res.Chunks, ChunkResult{
 			Chunk: k, Levels: delivered, Bytes: bytes, Download: dl, Throughput: thr,
-			Retries: retries, Degraded: degraded, Skipped: skipped,
+			Retries: retries, Degraded: degraded, Skipped: skipped, Stale: stale,
 		})
 		res.TotalBytes += bytes
 		res.TotalRetries += retries
 		res.DegradedTiles += degraded
 		res.SkippedTiles += skipped
 		if k == 0 {
-			res.StartupDelay = time.Since(start)
+			res.StartupDelay = clk.Since(start)
 		}
 		var stall float64
 		if k > 0 && dl.Seconds() > buffer {
@@ -424,6 +481,16 @@ func (c *Client) Stream(ctx context.Context, tr *viewport.Trace, cfg StreamConfi
 			buffer = 0
 		}
 		buffer += m.ChunkSec
+		if cfg.MaxBufferSec > 0 && buffer > cfg.MaxBufferSec {
+			// Paced prefetch (sim parity): idle without draining —
+			// playback continues against the buffered media.
+			idle := buffer - cfg.MaxBufferSec
+			if serr := clk.Sleep(ctx, time.Duration(idle*float64(time.Second))); serr != nil {
+				chunkSpan.End()
+				return nil, serr
+			}
+			buffer = cfg.MaxBufferSec
+		}
 
 		chunksTotal.Inc()
 		bytesTotal.Add(float64(bytes))

@@ -206,7 +206,7 @@ func TestFetchResilientDeadlineExpiryMidBody(t *testing.T) {
 	rng := mathx.NewRNG(1)
 
 	t0 := time.Now()
-	tf, err := New(ts.URL).fetchTileResilient(context.Background(), 0, 0, 0,
+	tf, err := fetchTileResilient(context.Background(), New(ts.URL), RealClock{}, 0, 0, 0,
 		pol, 0, true, rng, ins, el.Session())
 	elapsed := time.Since(t0)
 	if err != nil {
@@ -230,7 +230,7 @@ func TestFetchResilientDeadlineExpiryMidBody(t *testing.T) {
 	// A canceled session context propagates instead of degrading.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := New(ts.URL).fetchTileResilient(ctx, 0, 0, 0,
+	if _, err := fetchTileResilient(ctx, New(ts.URL), RealClock{}, 0, 0, 0,
 		pol, 0, true, rng, ins, el.Session()); err == nil {
 		t.Error("canceled context must propagate an error")
 	}

@@ -1,0 +1,65 @@
+package client
+
+import (
+	"context"
+	"time"
+)
+
+// Clock abstracts every way the session loop observes or spends time,
+// so the same loop runs against the wall clock (real HTTP sessions) or
+// a virtual clock (internal/swarm's discrete-event engine). The loop
+// never calls time.Now/time.Since/context.WithTimeout directly — a
+// rule enforced by the clock-audit tests in this package.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Since returns the time elapsed since t.
+	Since(t time.Time) time.Duration
+	// Sleep waits for d (or until ctx is done, returning ctx.Err()).
+	// A virtual clock advances instead of blocking.
+	Sleep(ctx context.Context, d time.Duration) error
+	// WithTimeout derives a context that expires after d on this
+	// clock. The real clock is context.WithTimeout; virtual clocks
+	// install a logical deadline their transport honours.
+	WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc)
+}
+
+// wallNow is the real clock's time source. It is a variable so the
+// clock-audit test can replace it with a panicking reader and prove
+// the session loop never touches the wall clock when a virtual Clock
+// is injected.
+var wallNow = time.Now
+
+// RealClock is the wall-clock Clock every HTTP session uses (the
+// default when StreamConfig.Clock is nil).
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return wallNow() }
+
+// Since implements Clock.
+func (RealClock) Since(t time.Time) time.Duration { return wallNow().Sub(t) }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(ctx context.Context, d time.Duration) error { return sleepCtx(ctx, d) }
+
+// WithTimeout implements Clock.
+func (RealClock) WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, d)
+}
+
+// sleepCtx waits d or until ctx is done, returning ctx.Err() in the
+// latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

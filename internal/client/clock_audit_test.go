@@ -1,0 +1,114 @@
+package client
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pano/internal/codec"
+	"pano/internal/manifest"
+)
+
+// auditClock is a minimal virtual clock for the wall-clock audit: it
+// advances only when the session sleeps and installs no real deadlines.
+type auditClock struct {
+	off time.Duration
+}
+
+func (c *auditClock) Now() time.Time                  { return time.Unix(0, 0).UTC().Add(c.off) }
+func (c *auditClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+func (c *auditClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d > 0 {
+		c.off += d
+	}
+	return nil
+}
+func (c *auditClock) WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return ctx, func() {}
+}
+
+// auditTransport serves the fixture manifest without a network, ticking
+// the injected clock so durations stay positive.
+type auditTransport struct {
+	t   testing.TB
+	clk *auditClock
+}
+
+func (a auditTransport) Target() string { return "audit://fake" }
+
+func (a auditTransport) Manifest(ctx context.Context) (*manifest.Video, error) {
+	return fixture(a.t).man, nil
+}
+
+func (a auditTransport) Tile(ctx context.Context, k, ti int, l codec.Level) (float64, error) {
+	a.clk.off += time.Millisecond
+	return fixture(a.t).man.Chunks[k].Tiles[ti].Bits[l], nil
+}
+
+// TestSessionNeverReadsWallClock replaces the real clock's time source
+// with a panicking reader and runs a full session against a virtual
+// clock and transport: any stray wall-clock read inside the extracted
+// loop (or anything it calls with Obs/Log/Trace disabled) panics the
+// test.
+func TestSessionNeverReadsWallClock(t *testing.T) {
+	orig := wallNow
+	wallNow = func() time.Time { panic("session loop read the wall clock") }
+	defer func() { wallNow = orig }()
+
+	clk := &auditClock{}
+	res, err := RunSession(context.Background(), auditTransport{t: t, clk: clk}, fixture(t).tr, StreamConfig{
+		Clock:        clk,
+		MaxBufferSec: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) != fixture(t).man.NumChunks() {
+		t.Fatalf("streamed %d chunks", len(res.Chunks))
+	}
+	if clk.off <= 0 {
+		t.Fatal("virtual clock never advanced")
+	}
+}
+
+// TestNoWallClockCallsInSource scans the package source for direct
+// wall-clock or real-deadline calls. Only clock.go (the RealClock
+// implementation — the one place the wall clock belongs) and raw.go
+// (the edge tier's origin-facing byte client, which lives outside the
+// session loop) may contain them.
+func TestNoWallClockCallsInSource(t *testing.T) {
+	allowed := map[string]bool{"clock.go": true, "raw.go": true}
+	banned := []string{
+		"time.Now(", "time.Since(", "time.Sleep(", "time.After(",
+		"time.NewTimer(", "time.NewTicker(",
+		"context.WithTimeout(", "context.WithDeadline(",
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || allowed[name] {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Clean(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, b := range banned {
+				if strings.Contains(line, b) {
+					t.Errorf("%s:%d: %s outside the Clock abstraction: %s",
+						name, i+1, b, strings.TrimSpace(line))
+				}
+			}
+		}
+	}
+}

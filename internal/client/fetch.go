@@ -184,22 +184,6 @@ func errorClass(err error) string {
 	return "other"
 }
 
-// sleepCtx waits d or until ctx is done, returning ctx.Err() in the
-// latter case.
-func sleepCtx(ctx context.Context, d time.Duration) error {
-	if d <= 0 {
-		return nil
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-t.C:
-		return nil
-	}
-}
-
 // fetchInstruments are the per-session obs handles of the resilient
 // pipeline (all nil-safe).
 type fetchInstruments struct {
@@ -231,7 +215,7 @@ func (ins fetchInstruments) retry(class string) {
 
 // tileFetch is the outcome of the degradation ladder for one tile.
 type tileFetch struct {
-	data     []byte
+	bits     float64
 	level    codec.Level
 	retries  int
 	degraded bool
@@ -253,7 +237,7 @@ type tileFetch struct {
 // ladder rung, the buffer-derived deadline, the backoff that follows a
 // failure, and the failure's error class — so a late chunk decomposes
 // into exactly which attempt stalled and why.
-func (c *Client) fetchTileResilient(ctx context.Context, k, ti int, planned codec.Level,
+func fetchTileResilient(ctx context.Context, tp Transport, clk Clock, k, ti int, planned codec.Level,
 	pol FetchPolicy, bufferSec float64, startup bool, rng *mathx.RNG,
 	ins fetchInstruments, sess *slog.Logger) (outF tileFetch, outErr error) {
 
@@ -288,15 +272,15 @@ func (c *Client) fetchTileResilient(ctx context.Context, k, ti int, planned code
 			actx, aspan := trace.StartSpan(ctx, "attempt",
 				trace.A("attempt", attempt+1), trace.A("rung", ri), trace.A("level", int(lv)),
 				trace.A("deadline_sec", timeout.Seconds()))
-			actx, cancel := context.WithTimeout(actx, timeout)
-			t0 := time.Now()
-			data, err := c.FetchTile(actx, k, ti, lv)
-			d := time.Since(t0)
+			actx, cancel := clk.WithTimeout(actx, timeout)
+			t0 := clk.Now()
+			bits, err := tp.Tile(actx, k, ti, lv)
+			d := clk.Since(t0)
 			cancel()
 			ins.attempts.ObserveExemplar(d.Seconds(), aspan.TraceHex())
 			if err == nil {
 				aspan.End()
-				out.data, out.level, out.goodput = data, lv, d
+				out.bits, out.level, out.goodput = bits, lv, d
 				if ri > 0 {
 					out.degraded = true
 					ins.degraded.Inc()
@@ -331,7 +315,7 @@ func (c *Client) fetchTileResilient(ctx context.Context, k, ti int, planned code
 			}
 			aspan.End()
 			if backoff > 0 {
-				if err := sleepCtx(ctx, backoff); err != nil {
+				if err := clk.Sleep(ctx, backoff); err != nil {
 					return out, err
 				}
 			}

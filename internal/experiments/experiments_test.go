@@ -221,6 +221,9 @@ func TestRegistryRunsEverything(t *testing.T) {
 	old := Fig14OutDir
 	Fig14OutDir = t.TempDir()
 	defer func() { Fig14OutDir = old }()
+	oldPops := SwarmPopulations
+	SwarmPopulations = []int{200, 400} // the full ladder lives in `make swarm`
+	defer func() { SwarmPopulations = oldPops }()
 	for _, id := range IDs() {
 		table, err := Run(d, id)
 		if err != nil {

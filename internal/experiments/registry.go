@@ -44,6 +44,7 @@ var registry = map[string]Runner{
 	"chaos":     tableOnly3(ChaosBench),
 	"trace":     tableOnly3(TraceBench),
 	"edge":      tableOnly3(EdgeBench),
+	"swarm":     tableOnly3(SwarmBench),
 	"telemetry": tableOnly3(TelemetryBench),
 	"tab2": func(d *Dataset) (*Table, error) {
 		return Table2(d), nil

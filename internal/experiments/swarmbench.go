@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pano/internal/chaos"
+	"pano/internal/nettrace"
+	"pano/internal/provider"
+	"pano/internal/swarm"
+)
+
+// SwarmRow is one population point of the swarm scaling bench.
+type SwarmRow struct {
+	Population int
+	Report     swarm.Report
+}
+
+// SwarmBenchResult is the BENCH_swarm.json payload: the same workload
+// (one Pano manifest, a shared viewport pool, a mixed LTE bandwidth
+// pool, a mild fault profile) simulated at growing population sizes.
+type SwarmBenchResult struct {
+	Rows []SwarmRow
+}
+
+// SwarmPopulations is the scaling ladder. The top rung is the
+// tentpole's headline: one process, one goroutine pool, a million
+// sessions in virtual time. It is a variable (like Fig14OutDir) so the
+// test suite can shrink it — a million sessions belong in `make swarm`
+// and `make bench`, not in every `go test ./...`.
+var SwarmPopulations = []int{1_000, 10_000, 100_000, 1_000_000}
+
+// swarmScoreEvery keeps the ground-truth scoring sample near ~10k
+// sessions per rung instead of scaling the (planner-sized) scoring cost
+// linearly with population.
+func swarmScoreEvery(pop int) int {
+	se := pop / 10_000
+	if se < 1 {
+		se = 1
+	}
+	return se
+}
+
+// swarmConfig assembles the shared workload: every rung differs only in
+// Sessions and ScoreEvery, so the QoE columns should stay flat while
+// origin load and wall time scale with the population.
+func (d *Dataset) swarmConfig() (swarm.Config, error) {
+	vi := d.TracedIndices()[0]
+	m, err := d.Manifest(vi, provider.ModePano)
+	if err != nil {
+		return swarm.Config{}, err
+	}
+	top := m.ChunkBits(0, 0) / m.ChunkSec / 1e6
+	var bw []*nettrace.Trace
+	for i, frac := range []float64{0.2, 0.35, 0.55, 0.8} {
+		bw = append(bw, nettrace.SynthesizeLTE(d.Scale.Seed+uint64(i)*17, 120, frac*top))
+	}
+	return swarm.Config{
+		Manifest:         m,
+		Seed:             d.Scale.Seed,
+		ArrivalWindowSec: 30,
+		Viewports:        d.Traces(vi),
+		Bandwidth:        bw,
+		Fault: chaos.Rule{
+			ErrorRate:    0.02,
+			TruncateRate: 0.01,
+			Latency:      20 * time.Millisecond,
+			Jitter:       10 * time.Millisecond,
+		},
+	}, nil
+}
+
+// SwarmBench runs the discrete-event swarm at each population rung and
+// reports QoE, origin load, and the wall seconds it took to simulate —
+// the 1M-session row is the "wall-seconds-to-simulate-1M" headline.
+// wall_sec and sessions_per_wall_sec measure the machine, not the
+// system: the benchdiff gate excludes them via -ignore.
+func SwarmBench(d *Dataset) (SwarmBenchResult, *Table, error) {
+	var res SwarmBenchResult
+	base, err := d.swarmConfig()
+	if err != nil {
+		return res, nil, err
+	}
+	for _, pop := range SwarmPopulations {
+		cfg := base
+		cfg.Sessions = pop
+		cfg.ScoreEvery = swarmScoreEvery(pop)
+		rep, err := swarm.Run(context.Background(), cfg)
+		if err != nil {
+			return res, nil, err
+		}
+		res.Rows = append(res.Rows, SwarmRow{Population: pop, Report: *rep})
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Swarm scaling: virtual-time sessions on a %d-worker pool (top rung: %d sessions in %.1fs wall)",
+			res.Rows[0].Report.Workers,
+			res.Rows[len(res.Rows)-1].Population,
+			res.Rows[len(res.Rows)-1].Report.WallSec),
+		Header: []string{"population", "mean_pspnr_db", "p10_pspnr_db", "rebuffer_pct",
+			"mean_startup_sec", "retries", "skipped_tiles", "peak_concurrency",
+			"origin_peak_rps", "origin_mean_rps", "virtual_sec",
+			"wall_sec", "sessions_per_wall_sec"},
+	}
+	for _, r := range res.Rows {
+		s := r.Report.Summary
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Population),
+			f1(s.MeanPSPNR),
+			f1(s.P10PSPNR),
+			f2(s.RebufferRatioPct),
+			f2(s.MeanStartupSec),
+			fmt.Sprintf("%d", s.Retries),
+			fmt.Sprintf("%d", s.SkippedTiles),
+			fmt.Sprintf("%d", s.PeakConcurrency),
+			fmt.Sprintf("%d", s.OriginPeakRPS),
+			f0(s.OriginMeanRPS),
+			f1(s.VirtualSec),
+			f1(r.Report.WallSec),
+			f0(r.Report.SessionsPerWallSec),
+		})
+	}
+	return res, t, nil
+}

@@ -86,8 +86,10 @@ func PMSEFromPSPNR(p float64) float64 {
 	if p >= quality.PSPNRCap {
 		return 0
 	}
-	r := 255 / math.Pow(10, p/20)
-	return r * r
+	// 255² · 10^(-p/10), via Exp: this sits in the innermost loop of
+	// every planner (tiles × levels × chunks × sessions) and Exp is
+	// ~3x cheaper than Pow at the same double precision.
+	return 65025 * math.Exp(-p*(math.Ln10/10))
 }
 
 // Visibility returns the fraction of the tile covered by the viewport
@@ -152,6 +154,11 @@ type PanoPlanner struct {
 	// viewpoint can slow down between the decision and playback; a
 	// hedge below 1 keeps those misses cheap (§6.1's conservatism).
 	Hedge float64
+	// Greedy swaps the pruned DP for the greedy marginal-utility
+	// allocator: same cost model, no frontier search, two orders of
+	// magnitude faster per chunk at a fraction-of-a-dB quality cost —
+	// the knob internal/swarm's million-session populations turn.
+	Greedy bool
 }
 
 // NewPanoPlanner returns the default Pano planner.
@@ -163,6 +170,9 @@ func NewPanoPlanner() *PanoPlanner {
 func (p *PanoPlanner) Name() string {
 	if p.Traditional {
 		return "pano-traditional-jnd"
+	}
+	if p.Greedy {
+		return "pano-greedy"
 	}
 	return "pano"
 }
@@ -191,7 +201,28 @@ func (p *PanoPlanner) Plan(m *manifest.Video, k int, view ChunkView, budget floa
 			tiles[i].Cost[l] = area * PMSEFromPSPNR(est)
 		}
 	}
+	if p.Greedy {
+		return abr.AllocateGreedy(tiles, budget)
+	}
 	return abr.AllocatePruned(tiles, budget, 0)
+}
+
+// MeanRefPSPNR returns the area-weighted mean reference PSPNR of chunk
+// k at level l — the chunk-level quality axis the MPC horizon uses
+// (sim.Run and the SimModel client loop normalize it to MOS-like
+// units).
+func MeanRefPSPNR(m *manifest.Video, k int, l codec.Level) float64 {
+	var num, den float64
+	for i := range m.Chunks[k].Tiles {
+		t := &m.Chunks[k].Tiles[i]
+		a := float64(t.Rect.Area())
+		num += a * t.RefPSPNR[l]
+		den += a
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
 }
 
 // ViewportPlanner is the viewport-driven baseline (Flare/ClusTile

@@ -417,14 +417,5 @@ func deliveredBits(m *manifest.Video, k int, a abr.Allocation, stale []bool) flo
 }
 
 func meanRefPSPNR(m *manifest.Video, k int, l codec.Level) float64 {
-	var num, den float64
-	for _, t := range m.Chunks[k].Tiles {
-		a := float64(t.Rect.Area())
-		num += a * t.RefPSPNR[l]
-		den += a
-	}
-	if den == 0 {
-		return 0
-	}
-	return num / den
+	return player.MeanRefPSPNR(m, k, l)
 }

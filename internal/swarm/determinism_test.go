@@ -1,0 +1,89 @@
+package swarm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	"pano/internal/chaos"
+)
+
+// summaryJSON runs the swarm and marshals the Summary — the part of the
+// Report that must be a pure function of Config (wall-clock figures
+// live outside it).
+func summaryJSON(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep.Summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestDeterminismAcrossRunsAndWorkers is the lockdown: the same seed
+// must produce byte-identical summaries run-to-run and at every worker
+// count, and a different seed must not. The suite runs under -race in
+// `make swarm`, so any cross-session sharing that would break
+// determinism also trips the race detector here.
+func TestDeterminismAcrossRunsAndWorkers(t *testing.T) {
+	f := fixture(t)
+	cfg := baseConfig(f)
+	cfg.Sessions = 96
+	// Exercise the full machinery: faults, backoff jitter, sampled
+	// scoring.
+	cfg.Fault = chaos.Rule{ErrorRate: 0.05, TruncateRate: 0.02, Latency: 20 * time.Millisecond, Jitter: 10 * time.Millisecond}
+	cfg.ScoreEvery = 3
+
+	workers := []int{1, 4, runtime.GOMAXPROCS(0)}
+	var ref []byte
+	for _, w := range workers {
+		c := cfg
+		c.Workers = w
+		first := summaryJSON(t, c)
+		second := summaryJSON(t, c)
+		if !bytes.Equal(first, second) {
+			t.Fatalf("workers=%d: two identical runs differ:\n%s\n%s", w, first, second)
+		}
+		if ref == nil {
+			ref = first
+		} else if !bytes.Equal(ref, first) {
+			t.Fatalf("workers=%d differs from workers=%d:\n%s\n%s", w, workers[0], first, ref)
+		}
+	}
+
+	diff := cfg
+	diff.Seed = cfg.Seed + 1
+	if bytes.Equal(ref, summaryJSON(t, diff)) {
+		t.Fatal("different seeds produced identical summaries")
+	}
+}
+
+// TestSessionParamsPure guards the root of determinism: per-session
+// parameters depend only on (Seed, id), never on execution order.
+func TestSessionParamsPure(t *testing.T) {
+	f := fixture(t)
+	cfg := baseConfig(f)
+	if err := cfg.fillDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 100; id++ {
+		a, b := sessionParams(&cfg, id), sessionParams(&cfg, id)
+		if a != b {
+			t.Fatalf("id %d: %+v != %+v", id, a, b)
+		}
+		if a.arrival < 0 || a.arrival >= cfg.ArrivalWindowSec {
+			t.Fatalf("id %d: arrival %v outside [0,%v)", id, a.arrival, cfg.ArrivalWindowSec)
+		}
+	}
+	// Neighbouring ids draw decorrelated streams.
+	if sessionParams(&cfg, 1) == sessionParams(&cfg, 2) {
+		t.Fatal("adjacent sessions drew identical params")
+	}
+}

@@ -1,0 +1,90 @@
+package swarm
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"pano/internal/client"
+	"pano/internal/jnd"
+	"pano/internal/nettrace"
+	"pano/internal/player"
+	"pano/internal/sim"
+)
+
+// TestOneSessionMatchesSim is the equivalence property: a 1-session
+// swarm over a flat-bandwidth trace must reproduce sim.Run's per-chunk
+// level decisions exactly and its per-chunk PSPNR within 1e-9. This
+// pins the extracted client loop (SimModel decisions + virtual clock +
+// netem link) to the simulator's analytical model: the only remaining
+// divergence is nanosecond quantization of durations, which a flat
+// trace keeps far below the tolerance.
+func TestOneSessionMatchesSim(t *testing.T) {
+	f := fixture(t)
+	m := f.pano
+	tr := f.traces[0]
+
+	// Flat link at 40% of the top encoding rate, zero RTT: download
+	// time is then linear in bits, so the client's per-tile transfers
+	// sum to exactly the simulator's one-shot per-chunk transfer.
+	flat := &nettrace.Trace{Mbps: make([]float64, 60)}
+	for i := range flat.Mbps {
+		flat.Mbps[i] = 0.4 * m.ChunkBits(0, 0) / m.ChunkSec / 1e6
+	}
+	link := &nettrace.Link{Trace: flat, RTTSec: 0}
+
+	simRes, err := sim.Run(m, tr, link, player.NewPanoPlanner(), sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	swarmCfg := Config{
+		Manifest:      m,
+		Sessions:      1,
+		Workers:       1,
+		Seed:          42,
+		Viewports:     f.traces[:1],
+		Bandwidth:     []*nettrace.Trace{flat},
+		RTTSec:        -1, // zero RTT, matching the sim link
+		Planner:       player.NewPanoPlanner(),
+		RetainResults: true,
+		Fetch: client.FetchPolicy{
+			// Attempt deadlines don't exist in sim.Run's model; push
+			// them out of reach so the ladder never intervenes.
+			AttemptTimeout:    time.Hour,
+			MinAttemptTimeout: time.Hour,
+		},
+	}
+	rep, err := Run(context.Background(), swarmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Completed != 1 || len(rep.Results) != 1 {
+		t.Fatalf("swarm session failed: %+v", rep.Summary)
+	}
+	res := rep.Results[0]
+	if len(res.Chunks) != len(simRes.PerChunkAlloc) {
+		t.Fatalf("chunk counts: swarm %d, sim %d", len(res.Chunks), len(simRes.PerChunkAlloc))
+	}
+
+	prof := jnd.Default()
+	est := player.NewEstimator()
+	for k, cr := range res.Chunks {
+		want := simRes.PerChunkAlloc[k]
+		if len(cr.Levels) != len(want) {
+			t.Fatalf("chunk %d: tile counts %d vs %d", k, len(cr.Levels), len(want))
+		}
+		for ti := range want {
+			if cr.Levels[ti] != want[ti] {
+				t.Fatalf("chunk %d tile %d: swarm level %d, sim level %d",
+					k, ti, cr.Levels[ti], want[ti])
+			}
+		}
+		actual := est.ActualView(m, tr, k)
+		got := player.FramePSPNRDegraded(m, k, cr.Levels, cr.Stale, actual, prof)
+		if diff := math.Abs(got - simRes.PerChunkPSPNR[k]); diff > 1e-9 {
+			t.Fatalf("chunk %d: PSPNR %v vs sim %v (diff %g)", k, got, simRes.PerChunkPSPNR[k], diff)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package swarm
+
+import "container/heap"
+
+// event is one timed occurrence in the discrete-event schedule: a
+// session arrival (delta +1) or departure (delta -1).
+type event struct {
+	at    float64
+	id    int
+	delta int
+}
+
+// eventQueue is a min-heap of events ordered by (time, departures
+// before arrivals, session id) — a total order, so every pop sequence
+// is deterministic regardless of push order.
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	if q[i].delta != q[j].delta {
+		return q[i].delta < q[j].delta
+	}
+	return q[i].id < q[j].id
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// pop removes and returns the earliest event.
+func (q *eventQueue) pop() event { return heap.Pop(q).(event) }

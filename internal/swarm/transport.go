@@ -1,0 +1,138 @@
+package swarm
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"syscall"
+	"time"
+
+	"pano/internal/chaos"
+	"pano/internal/client"
+	"pano/internal/codec"
+	"pano/internal/manifest"
+	"pano/internal/nettrace"
+)
+
+// errConnReset is the virtual transport's connection-abort error; it
+// wraps syscall.ECONNRESET so the client's errorClass buckets it like
+// a real killed connection.
+var errConnReset = fmt.Errorf("swarm: connection reset: %w", syscall.ECONNRESET)
+
+// netem is one session's logical network: a nettrace link integrated
+// in virtual time plus chaos fault draws, implementing
+// client.Transport. Every failure mode maps onto the same error the
+// HTTP transport would surface (StatusError, unexpected EOF, reset,
+// DeadlineExceeded), so the client's retry ladder runs unchanged.
+type netem struct {
+	m            *manifest.Video
+	clock        *VirtualClock
+	link         *nettrace.Link
+	fault        chaos.Rule
+	seed         uint64
+	manifestBits float64
+
+	seq        map[uint64]uint64 // per-object request count (fault draw index)
+	originReqs int64
+	// load buckets origin requests per virtual second. It is owned by
+	// the calling worker and shared across its sessions (integer adds
+	// commute, so the merged histogram is deterministic regardless of
+	// which worker ran which session) — one map per worker instead of
+	// one per session keeps a million-session run off the GC's back.
+	load map[int32]int64
+}
+
+func newNetem(m *manifest.Video, clk *VirtualClock, link *nettrace.Link, fault chaos.Rule, seed uint64, manifestBits float64, load map[int32]int64) *netem {
+	return &netem{
+		m: m, clock: clk, link: link, fault: fault, seed: seed,
+		manifestBits: manifestBits,
+		seq:          make(map[uint64]uint64),
+		load:         load,
+	}
+}
+
+// Target implements client.Transport.
+func (s *netem) Target() string { return "swarm://netem" }
+
+// hit records one origin request at the current virtual second.
+func (s *netem) hit() {
+	s.originReqs++
+	s.load[int32(s.clock.NowSec())]++
+}
+
+// Manifest implements client.Transport: one logical GET over the link.
+// Manifest faults are not modelled — swarm sessions always start.
+func (s *netem) Manifest(ctx context.Context) (*manifest.Video, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.hit()
+	s.clock.AdvanceSec(s.link.DownloadTime(s.clock.NowSec(), s.manifestBits))
+	return s.m, nil
+}
+
+// tileKey packs a tile identity into the fault draw key (high bit set
+// so tile and manifest streams never collide).
+func tileKey(k, ti int, l codec.Level) uint64 {
+	return 1<<63 | uint64(k)<<24 | uint64(ti)<<4 | uint64(l)
+}
+
+// Tile implements client.Transport: resolve the chunk's fault plan for
+// this attempt, integrate the link for the transfer time, honour the
+// attempt's virtual deadline, and return the delivered bits (exactly
+// the manifest's, floats untouched) or the mapped failure.
+func (s *netem) Tile(ctx context.Context, k, ti int, l codec.Level) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	key := tileKey(k, ti, l)
+	n := s.seq[key]
+	s.seq[key] = n + 1
+	s.hit()
+	o := s.fault.Draw(s.seed, key, n)
+	bits := s.m.Chunks[k].Tiles[ti].Bits[l]
+
+	now := s.clock.NowSec()
+	cost := o.Latency.Seconds()
+	var ferr error
+	switch {
+	case o.Abort:
+		cost += s.link.DownloadTime(now+cost, 0) // header round-trip, then reset
+		ferr = errConnReset
+	case o.Error500:
+		cost += s.link.DownloadTime(now+cost, 0)
+		ferr = &client.StatusError{Code: 500}
+	default:
+		dl := s.link.DownloadTime(now+cost, bits)
+		if s.fault.ThrottleBps > 0 {
+			if paced := bits/s.fault.ThrottleBps + s.link.RTTSec; paced > dl {
+				dl = paced
+			}
+		}
+		if o.Truncate {
+			dl *= 0.5 // half the body arrives, then the connection dies
+			ferr = io.ErrUnexpectedEOF
+		}
+		if o.Stall {
+			sf := s.fault.StallFor
+			if sf <= 0 {
+				sf = 250 * time.Millisecond
+			}
+			dl += sf.Seconds()
+		}
+		cost += dl
+	}
+
+	done := s.clock.Now().Add(time.Duration(cost * float64(time.Second)))
+	if dl, ok := virtualDeadline(ctx); ok && done.After(dl) {
+		// The attempt deadline expires mid-transfer: the session
+		// observes the timeout at the deadline, not at completion.
+		s.clock.AdvanceTo(dl)
+		return 0, context.DeadlineExceeded
+	}
+	s.clock.AdvanceTo(done)
+	if ferr != nil {
+		return 0, ferr
+	}
+	return bits, nil
+}

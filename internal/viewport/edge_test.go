@@ -1,0 +1,148 @@
+package viewport
+
+import (
+	"math"
+	"testing"
+
+	"pano/internal/mathx"
+)
+
+// TestTraceEdgeCases drives the sampling surface through the degenerate
+// shapes the swarm's trace pools can contain: empty traces,
+// single-sample traces, and queries past the last timestamp.
+func TestTraceEdgeCases(t *testing.T) {
+	empty := &Trace{}
+	single := &Trace{YawDeg: []float64{30}, PitchDeg: []float64{-10}}
+	two := &Trace{YawDeg: []float64{0, 10}, PitchDeg: []float64{0, 5}}
+	lastT := two.Duration()
+
+	cases := []struct {
+		name       string
+		tr         *Trace
+		t          float64
+		wantYaw    float64
+		wantPitch  float64
+		wantSpeed0 bool // SpeedAt(t) must be exactly 0
+	}{
+		{"empty at zero", empty, 0, 0, 0, true},
+		{"empty past end", empty, 99, 0, 0, true},
+		{"single at zero", single, 0, 30, -10, true},
+		{"single before start", single, -5, 30, -10, true},
+		{"single past end", single, 7.5, 30, -10, true},
+		{"two at last sample", two, lastT, 10, 5, false},
+		{"two past end clamps", two, lastT + 3, 10, 5, false},
+		{"two before start clamps", two, -1, 0, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.tr.At(tc.t)
+			if math.Abs(a.Yaw-tc.wantYaw) > 1e-12 || math.Abs(a.Pitch-tc.wantPitch) > 1e-12 {
+				t.Errorf("At(%v) = %+v, want yaw %v pitch %v", tc.t, a, tc.wantYaw, tc.wantPitch)
+			}
+			s := tc.tr.SpeedAt(tc.t)
+			if tc.wantSpeed0 && s != 0 {
+				t.Errorf("SpeedAt(%v) = %v, want 0", tc.t, s)
+			}
+			if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+				t.Errorf("SpeedAt(%v) = %v, want finite non-negative", tc.t, s)
+			}
+		})
+	}
+}
+
+func TestDurationEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   *Trace
+		want float64
+	}{
+		{"empty", &Trace{}, 0},
+		{"single sample", &Trace{YawDeg: []float64{1}, PitchDeg: []float64{2}}, 0},
+		{"two samples", &Trace{YawDeg: []float64{0, 1}, PitchDeg: []float64{0, 0}}, RefreshInterval},
+	}
+	for _, tc := range cases {
+		if got := tc.tr.Duration(); got != tc.want {
+			t.Errorf("%s: Duration = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSpeedPastEndIsZero: past the last timestamp both finite-difference
+// endpoints clamp to the final sample, so the apparent speed must decay
+// to exactly zero rather than extrapolate.
+func TestSpeedPastEndIsZero(t *testing.T) {
+	tr := &Trace{
+		YawDeg:   []float64{0, 10, 20, 30},
+		PitchDeg: []float64{0, 0, 0, 0},
+	}
+	past := tr.Duration() + 6*RefreshInterval // both window endpoints beyond the trace
+	if got := tr.SpeedAt(past); got != 0 {
+		t.Errorf("SpeedAt past end = %v, want 0", got)
+	}
+	if got := tr.MinSpeedIn(past, past+1); got != 0 {
+		t.Errorf("MinSpeedIn past end = %v, want 0", got)
+	}
+}
+
+func TestMinSpeedInEdgeCases(t *testing.T) {
+	if got := (&Trace{}).MinSpeedIn(0, 2); got != 0 {
+		t.Errorf("empty trace MinSpeedIn = %v", got)
+	}
+	single := &Trace{YawDeg: []float64{5}, PitchDeg: []float64{5}}
+	if got := single.MinSpeedIn(0, 2); got != 0 {
+		t.Errorf("single-sample MinSpeedIn = %v", got)
+	}
+	// Degenerate window (t0 == t1) still samples once.
+	tr := &Trace{YawDeg: []float64{0, 10}, PitchDeg: []float64{0, 0}}
+	if got := tr.MinSpeedIn(0.05, 0.05); got < 0 || math.IsInf(got, 1) {
+		t.Errorf("point-window MinSpeedIn = %v", got)
+	}
+}
+
+// TestPredictorEdgeCases: prediction must stay finite and fall back to
+// At(now) on traces too short to regress over, including queries past
+// the end of the trace.
+func TestPredictorEdgeCases(t *testing.T) {
+	p := NewPredictor()
+
+	empty := &Trace{}
+	a := p.Predict(empty, 0, 1)
+	if a.Yaw != 0 || a.Pitch != 0 {
+		t.Errorf("empty trace Predict = %+v", a)
+	}
+
+	single := &Trace{YawDeg: []float64{45}, PitchDeg: []float64{10}}
+	a = p.Predict(single, 0, 2)
+	if a.Yaw != 45 || a.Pitch != 10 {
+		t.Errorf("single-sample Predict = %+v, want the sample", a)
+	}
+
+	// Past the last timestamp the history window reads a constant
+	// (clamped) tail, so the fit is flat: the prediction must equal the
+	// final sample, not extrapolate the old motion.
+	moving := &Trace{
+		YawDeg:   []float64{0, 10, 20, 30, 40},
+		PitchDeg: []float64{0, 0, 0, 0, 0},
+	}
+	past := moving.Duration() + 2
+	a = p.Predict(moving, past, 3)
+	if math.Abs(a.Yaw-40) > 1e-6 || math.Abs(a.Pitch) > 1e-6 {
+		t.Errorf("past-end Predict = %+v, want clamp to last sample", a)
+	}
+	if e := p.PredictError(moving, past, 3); math.IsNaN(e) || e > 1e-6 {
+		t.Errorf("past-end PredictError = %v", e)
+	}
+}
+
+func TestAddNoiseEdgeCases(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	out := (&Trace{}).AddNoise(5, rng)
+	if out.Len() != 0 {
+		t.Errorf("empty AddNoise len = %d", out.Len())
+	}
+	single := &Trace{YawDeg: []float64{0}, PitchDeg: []float64{80}}
+	out = single.AddNoise(0, rng) // zero noise: identity (pitch stays clamped)
+	if out.YawDeg[0] != 0 || out.PitchDeg[0] != 80 {
+		t.Errorf("zero-noise AddNoise = %+v", out)
+	}
+}

@@ -20,6 +20,7 @@
 package pano
 
 import (
+	"context"
 	"io"
 	"net/http"
 
@@ -35,6 +36,7 @@ import (
 	"pano/internal/scene"
 	"pano/internal/server"
 	"pano/internal/sim"
+	"pano/internal/swarm"
 	"pano/internal/telemetry"
 	"pano/internal/trace"
 	"pano/internal/viewport"
@@ -143,6 +145,26 @@ type (
 	SLO = telemetry.SLO
 	// SLOStatus is one SLO's current evaluation, as served by /debug/slo.
 	SLOStatus = telemetry.SLOStatus
+	// Clock abstracts how the streaming client observes and spends
+	// time; the default RealClock is the wall clock, and
+	// internal/swarm's virtual clock drives the same session loop in
+	// discrete-event time.
+	Clock = panoclient.Clock
+	// Transport abstracts how the streaming client moves bytes: the
+	// HTTP Client is one implementation, the swarm's logical network
+	// emulator is another.
+	Transport = panoclient.Transport
+	// SwarmConfig describes a virtual-time population run: one
+	// manifest, pools of viewport and bandwidth traces, a fault
+	// profile, and a session count (100k–1M sessions in one process).
+	SwarmConfig = swarm.Config
+	// SwarmReport is a swarm run's outcome: the deterministic
+	// population Summary (byte-identical for a given config at any
+	// worker count) plus wall-clock throughput figures.
+	SwarmReport = swarm.Report
+	// SwarmSummary is the deterministic population rollup (QoE
+	// quantiles, rebuffer ratio, concurrency curve, origin load).
+	SwarmSummary = swarm.Summary
 )
 
 // NewJNDFieldCache returns a content-JND field cache holding at most
@@ -306,3 +328,12 @@ func DefaultSLOs() []SLO { return telemetry.DefaultSLOs() }
 // "rebuffer<=0.02;edge_hit=off", window/burn suffixes) into an SLO
 // set; "" disables telemetry.
 func ParseSLOs(spec string) ([]SLO, error) { return telemetry.ParseSLOs(spec) }
+
+// RunSwarm simulates a population of streaming sessions in virtual
+// time on a worker pool: every session runs the real client loop
+// (estimate → MPC → assign → fetch → stitch → QoE) against a logical
+// network, and the aggregated Summary is deterministic — byte-identical
+// for the same SwarmConfig at any worker count.
+func RunSwarm(ctx context.Context, cfg SwarmConfig) (*SwarmReport, error) {
+	return swarm.Run(ctx, cfg)
+}
