@@ -196,12 +196,19 @@ func loadBench(path string) (benchFile, error) {
 
 // diffRecords compares two bench tables cell by cell: rows matched by
 // first cell, columns by header name (falling back to position when a
-// header is absent), changed cells reported in row order.
+// header is absent), changed cells reported in row order. Rows present
+// on only one side surface as "(row)" present/missing deltas.
 func diffRecords(a, b benchFile) []cellDelta {
 	newRows := make(map[string][]string, len(b.Rows))
 	for _, r := range b.Rows {
 		if len(r) > 0 {
 			newRows[r[0]] = r
+		}
+	}
+	oldKeys := make(map[string]bool, len(a.Rows))
+	for _, r := range a.Rows {
+		if len(r) > 0 {
+			oldKeys[r[0]] = true
 		}
 	}
 	newCol := make(map[string]int, len(b.Header))
@@ -235,6 +242,13 @@ func diffRecords(a, b benchFile) []cellDelta {
 			d.ID, d.Row, d.Col = a.ID, row[0], col
 			out = append(out, d)
 		}
+	}
+	for _, r := range b.Rows {
+		if len(r) == 0 || oldKeys[r[0]] {
+			continue
+		}
+		out = append(out, cellDelta{ID: a.ID, Row: r[0], Col: "(row)",
+			OldS: "missing", NewS: "present", Changed: true})
 	}
 	return out
 }

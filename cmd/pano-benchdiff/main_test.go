@@ -51,6 +51,7 @@ func TestDiffRecords(t *testing.T) {
 		Rows: [][]string{
 			{"direct", "0.00", "12.0", "pano"},
 			{"edge", "0.60", "6.0", "greedy"},
+			{"fresh", "0.50", "2.0", "pano"},
 		},
 	}
 	ds := diffRecords(a, b)
@@ -70,8 +71,11 @@ func TestDiffRecords(t *testing.T) {
 	if d := byKey["direct/hit ratio"]; d.Changed {
 		t.Errorf("unchanged cell reported as changed: %+v", d)
 	}
-	if d := byKey["gone/(row)"]; !d.Changed {
+	if d := byKey["gone/(row)"]; !d.Changed || d.OldS != "present" || d.NewS != "missing" {
 		t.Errorf("missing row not reported: %+v", ds)
+	}
+	if d := byKey["fresh/(row)"]; !d.Changed || d.OldS != "missing" || d.NewS != "present" {
+		t.Errorf("new-only row not reported: %+v", ds)
 	}
 }
 

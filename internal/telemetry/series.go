@@ -53,6 +53,16 @@ func (r *ring) latest() (Point, bool) {
 	return r.pts[i], true
 }
 
+func (r *ring) oldest() (Point, bool) {
+	if r.full {
+		return r.pts[r.next], true
+	}
+	if r.next == 0 {
+		return Point{}, false
+	}
+	return r.pts[0], true
+}
+
 // atOrBefore returns the most recent point with T <= t; when every
 // retained point is newer it falls back to the oldest (the window is
 // clamped to available history, so a young process evaluates its slow
@@ -83,24 +93,55 @@ const (
 	CounterSeries
 )
 
-// Series is one counter or gauge metric's windowed history.
+// Series is one counter or gauge metric's windowed history. Name,
+// Labels, and Kind are immutable after creation; the ring is guarded by
+// mu, shared with the owning Store's Observe, so holding a *Series
+// across scrapes and reading it concurrently is safe.
 type Series struct {
 	Name   string
 	Labels []obs.Label
 	Kind   SeriesKind
+	mu     sync.RWMutex
 	ring   *ring
 }
 
+func (s *Series) add(p Point) {
+	s.mu.Lock()
+	s.ring.add(p)
+	s.mu.Unlock()
+}
+
 // Points returns the retained samples, oldest first.
-func (s *Series) Points() []Point { return s.ring.points() }
+func (s *Series) Points() []Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ring.points()
+}
 
 // Last returns the most recent sample (false when empty).
-func (s *Series) Last() (Point, bool) { return s.ring.latest() }
+func (s *Series) Last() (Point, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ring.latest()
+}
+
+// Oldest returns the oldest retained sample (false when empty).
+func (s *Series) Oldest() (Point, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ring.oldest()
+}
 
 // DeltaSince returns the counter increase over [t, latest]; gauges
 // return the difference of endpoint samples. False when fewer than one
 // sample is retained.
 func (s *Series) DeltaSince(t time.Time) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.deltaLocked(t)
+}
+
+func (s *Series) deltaLocked(t time.Time) (float64, bool) {
 	last, ok := s.ring.latest()
 	if !ok {
 		return 0, false
@@ -120,6 +161,8 @@ func (s *Series) DeltaSince(t time.Time) (float64, bool) {
 // RateSince returns the per-second rate over [t, latest] (0 when the
 // window has no extent yet).
 func (s *Series) RateSince(t time.Time) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	last, ok := s.ring.latest()
 	if !ok {
 		return 0
@@ -129,7 +172,7 @@ func (s *Series) RateSince(t time.Time) float64 {
 	if dt <= 0 {
 		return 0
 	}
-	d, _ := s.DeltaSince(t)
+	d, _ := s.deltaLocked(t)
 	return d / dt
 }
 
@@ -141,22 +184,28 @@ type histSnap struct {
 	sum    float64
 }
 
-// HistSeries is one histogram metric's windowed bucket history.
+// HistSeries is one histogram metric's windowed bucket history. Name,
+// Labels, and Uppers are immutable after creation; the snapshot ring is
+// guarded by mu, shared with the owning Store's Observe, so holding a
+// *HistSeries across scrapes and reading it concurrently is safe.
 type HistSeries struct {
 	Name   string
 	Labels []obs.Label
 	Uppers []float64
+	mu     sync.RWMutex
 	snaps  []histSnap
 	next   int
 	full   bool
 }
 
 func (h *HistSeries) add(s histSnap) {
+	h.mu.Lock()
 	h.snaps[h.next] = s
 	h.next = (h.next + 1) % len(h.snaps)
 	if h.next == 0 {
 		h.full = true
 	}
+	h.mu.Unlock()
 }
 
 func (h *HistSeries) ordered() []histSnap {
@@ -172,6 +221,8 @@ func (h *HistSeries) ordered() []histSnap {
 // deltaSince returns per-bucket count deltas (and total-count delta)
 // over [t, latest], clamped to available history.
 func (h *HistSeries) deltaSince(t time.Time) (counts []uint64, n uint64, ok bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	snaps := h.ordered()
 	if len(snaps) == 0 {
 		return nil, 0, false
@@ -269,7 +320,7 @@ func (st *Store) Observe(t time.Time, snap []obs.SnapshotSeries) {
 				st.series[key] = s
 				st.byName[ss.Name] = append(st.byName[ss.Name], key)
 			}
-			s.ring.add(Point{T: t, V: ss.Value})
+			s.add(Point{T: t, V: ss.Value})
 		}
 	}
 }
@@ -317,6 +368,23 @@ func (st *Store) Len() int {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	return len(st.series) + len(st.hists)
+}
+
+// EarliestSample returns the oldest retained sample time across every
+// counter/gauge series of the named families (false when none has
+// data). SLO burn rates use it to clamp wall-time denominators to the
+// history a young process has actually lived through.
+func (st *Store) EarliestSample(names []string) (time.Time, bool) {
+	var earliest time.Time
+	var ok bool
+	for _, name := range names {
+		for _, s := range st.Family(name) {
+			if p, has := s.Oldest(); has && (!ok || p.T.Before(earliest)) {
+				earliest, ok = p.T, true
+			}
+		}
+	}
+	return earliest, ok
 }
 
 // labelsMatch reports whether ls has key with one of the wanted values

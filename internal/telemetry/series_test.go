@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -194,6 +195,100 @@ func TestDeltaSumLabelMatching(t *testing.T) {
 	}
 	if v, has := st.DeltaSum([]string{"sessions_total"}, "status", []string{"nope"}, at(0)); has || v != 0 {
 		t.Errorf("unmatched label DeltaSum = %v,%v, want 0,false", v, has)
+	}
+}
+
+// TestStoreConcurrentScrapeAndRead hammers every read accessor while
+// Observe keeps appending — the exact interleaving of a sampler tick
+// racing an HTTP dashboard snapshot. The readers resolve their
+// *Series/*HistSeries pointers ONCE and hold them across scrapes
+// (as serveSSE and the SLO evaluator do), so nothing but the
+// per-series locks orders the ring accesses; run under -race this
+// locks that guarantee down.
+func TestStoreConcurrentScrapeAndRead(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := NewStore(32)
+	c := reg.Counter("reqs_total", "r")
+	g := reg.Gauge("depth", "d")
+	h := reg.Histogram("lat_seconds", "l", []float64{0.1, 1})
+	c.Add(1)
+	g.Set(1)
+	h.Observe(0.05)
+	st.Observe(at(0), reg.Snapshot())
+
+	counters := st.Family("reqs_total")
+	gauges := st.Family("depth")
+	hists := st.HistFamily("lat_seconds")
+	if len(counters) == 0 || len(gauges) == 0 || len(hists) == 0 {
+		t.Fatal("setup: series missing after first scrape")
+	}
+
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Add(1)
+			g.Set(float64(i))
+			h.Observe(0.2)
+			st.Observe(at(i), reg.Snapshot())
+		}
+	}()
+
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 300; i++ {
+				for _, s := range counters {
+					s.Points()
+					s.Last()
+					s.Oldest()
+					s.DeltaSince(at(0))
+					s.RateSince(at(0))
+				}
+				for _, s := range gauges {
+					s.Points()
+					s.Last()
+				}
+				for _, hs := range hists {
+					hs.QuantileSince(0.99, at(0))
+					hs.CountSince(at(0))
+				}
+				st.DeltaSum([]string{"reqs_total"}, "", nil, at(0))
+				st.ViolationFrac([]string{"depth"}, at(0), 5, true)
+				st.QuantileMax([]string{"lat_seconds"}, 0.99, at(0))
+				st.EarliestSample([]string{"reqs_total", "depth"})
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+}
+
+func TestStoreEarliestSample(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := NewStore(4)
+	if _, ok := st.EarliestSample([]string{"g"}); ok {
+		t.Error("empty store reported a sample")
+	}
+	g := reg.Gauge("g", "g")
+	for i := 0; i < 10; i++ {
+		g.Set(float64(i))
+		scrape(st, reg, i)
+	}
+	// The 4-deep ring retains t6..t9: the earliest must track eviction.
+	got, ok := st.EarliestSample([]string{"g"})
+	if !ok || !got.Equal(at(6)) {
+		t.Errorf("EarliestSample = %v,%v, want %v,true", got, ok, at(6))
 	}
 }
 

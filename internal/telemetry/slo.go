@@ -13,8 +13,9 @@ type SLOKind int
 const (
 	// SLORate watches a windowed bad/total ratio against a budget:
 	// burn = (Δbad / Δtotal) / Budget. With no TotalMetric the
-	// denominator is elapsed wall seconds (so a seconds-denominated
-	// counter like rebuffer time reads directly as a stall ratio).
+	// denominator is elapsed wall seconds, clamped to retained history
+	// (so a seconds-denominated counter like rebuffer time reads
+	// directly as a stall ratio, even on a young process).
 	SLORate SLOKind = iota
 	// SLOFloor watches a gauge that must stay at or above Threshold:
 	// burn = (fraction of window samples below Threshold) / Budget.
@@ -177,7 +178,15 @@ func (e *sloEval) burn(st *Store, now time.Time, window time.Duration) (burn, va
 		}
 		var total float64
 		if s.TotalMetric == "" {
+			// Wall-time denominator, clamped to retained history: a process
+			// younger than the window is judged over the seconds it actually
+			// lived through, not diluted by window time it never saw.
 			total = window.Seconds()
+			if oldest, has := st.EarliestSample(s.metrics()); has {
+				if avail := now.Sub(oldest).Seconds(); avail < total {
+					total = avail
+				}
+			}
 		} else {
 			total, _ = st.DeltaSum(strings.Split(s.TotalMetric, "|"), "", nil, since)
 		}

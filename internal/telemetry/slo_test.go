@@ -81,6 +81,28 @@ func TestBurnRateEscalationAndRecovery(t *testing.T) {
 	}
 }
 
+func TestYoungProcessBurnClampsToHistory(t *testing.T) {
+	// A process a few seconds old that stalls 100% of the time must burn
+	// at full rate: the wall-seconds denominator clamps to retained
+	// history (min(window, uptime)), instead of diluting the ratio over
+	// slow-window seconds the process never lived through.
+	s, reg, _ := newTestSampler(t, rateSLO())
+	bad := reg.Counter("bad_seconds_total", "stall seconds")
+	for sec := 0; sec < 4; sec++ {
+		bad.Add(1)
+		s.Step(at(sec))
+	}
+	st := s.States()[0]
+	// Ratio ~1.0 against a 0.1 budget = burn ~10 on BOTH windows, even
+	// though only 3 of the slow window's 20 seconds exist yet.
+	if st.BurnSlow < 6 || st.BurnFast < 6 {
+		t.Errorf("young-process burns = %.2f/%.2f (fast/slow), want both >= 6", st.BurnFast, st.BurnSlow)
+	}
+	if got := s.State("stall"); got != StatePage {
+		t.Errorf("young process under full stall: state = %v, want page", got)
+	}
+}
+
 func TestFlapDampingHoldsStateThroughBlips(t *testing.T) {
 	slo := rateSLO()
 	slo.ClearAfter = 3
