@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmt race race-kernels chaos trace edge dash swarm benchdiff bench microbench clean
+.PHONY: build test check vet fmt race race-kernels chaos trace edge dash swarm fleet benchdiff bench microbench clean
 
 build:
 	$(GO) build ./...
@@ -82,13 +82,28 @@ swarm:
 		-ignore wall_sec,sessions_per_wall_sec \
 		baseline/BENCH_swarm.json BENCH_swarm.json
 
+# The origin fleet: ring/breaker/budget/hedge suites and the edge
+# failover tests under the race detector, then the fleet resilience
+# experiment (4 shards, one killed mid-run, swarm + live scenarios,
+# lands in BENCH_fleet.json) gated against the committed baseline.
+# live_reqs, breaker_open_ms, and wall_sec measure the machine, not
+# the system, so the gate ignores them.
+fleet:
+	$(GO) test -race ./internal/fleet -count 1
+	$(GO) test -race ./internal/edge -run 'Fleet|Outage|Hedge' -count 1
+	$(GO) test -race ./internal/swarm -run Fleet -count 1
+	$(GO) run ./cmd/pano-bench -scale quick fleet
+	$(GO) run ./cmd/pano-benchdiff -threshold 0.10 \
+		-ignore live_reqs,breaker_open_ms,wall_sec \
+		baseline/BENCH_fleet.json BENCH_fleet.json
+
 # Compare two benchmark runs: files or directories of BENCH_*.json.
 # Usage: make benchdiff OLD=baseline/ NEW=. [THRESHOLD=0.10]
 THRESHOLD ?= 0.10
 benchdiff:
 	$(GO) run ./cmd/pano-benchdiff -threshold $(THRESHOLD) $(OLD) $(NEW)
 
-check: vet fmt race race-kernels chaos trace edge dash swarm
+check: vet fmt race race-kernels chaos trace edge dash swarm fleet
 
 # Quick-scale paper evaluation; writes BENCH_<id>.json files.
 bench: build microbench

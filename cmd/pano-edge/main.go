@@ -6,9 +6,17 @@
 //
 // Usage:
 //
-//	pano-edge -origin http://127.0.0.1:8360 [-addr :8361]
+//	pano-edge -origins http://127.0.0.1:8360[,http://127.0.0.1:8370,...]
+//	          [-addr :8361] [-probe-interval 2s]
 //	          [-cache-bytes 67108864] [-ttl 60s] [-prefetch 0]
 //	          [-peer-traces a.csv,b.csv] [-chaos spec] [-trace] [-pprof]
+//
+// Two or more -origins entries enable fleet mode: cache fills shard
+// across the origins on a consistent-hash ring, active /healthz probes
+// and passive error signals drive per-origin circuit breakers, failed
+// fetches fail over along the ring, and slow ones race a hedged backup
+// request — all under a token-bucket retry budget. -origin (singular)
+// is a deprecated alias for a one-entry -origins.
 //
 // -cache-bytes 0 disables caching entirely: the edge becomes a
 // transparent pass-through whose responses are byte-identical to the
@@ -28,9 +36,11 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"strings"
 	"time"
@@ -46,7 +56,9 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8361", "listen address")
-	origin := flag.String("origin", "", "origin server base URL (required), e.g. http://127.0.0.1:8360")
+	origin := flag.String("origin", "", "origin server base URL (deprecated alias for -origins with one entry)")
+	origins := flag.String("origins", "", "comma-separated origin base URLs; two or more enable fleet mode (consistent-hash sharding, failover, breakers, hedged fetches)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "fleet mode: active /healthz probe period per origin (0 = passive health only)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "cache byte budget (0 = pass-through, no caching)")
 	ttl := flag.Duration("ttl", 60*time.Second, "freshness TTL for cached objects")
 	negTTL := flag.Duration("neg-ttl", 5*time.Second, "TTL for cached negative (404) answers")
@@ -60,8 +72,25 @@ func main() {
 	sloSpec := flag.String("slo", "", `SLO telemetry spec, e.g. "default" or "edge_hit>=0.7" ("" = off; see telemetry.ParseSLOs)`)
 	flag.Parse()
 
-	if *origin == "" {
-		log.Fatal("pano-edge: -origin is required")
+	var fleetOrigins []string
+	for _, o := range strings.Split(*origins, ",") {
+		if o = strings.TrimSpace(o); o != "" {
+			fleetOrigins = append(fleetOrigins, o)
+		}
+	}
+	switch {
+	case *origin != "" && len(fleetOrigins) > 0:
+		log.Fatal("pano-edge: -origin and -origins are mutually exclusive")
+	case *origin != "":
+		log.Printf("-origin is deprecated; use -origins")
+		fleetOrigins = []string{*origin}
+	case len(fleetOrigins) == 0:
+		log.Fatal("pano-edge: -origins is required")
+	}
+	for _, o := range fleetOrigins {
+		if u, err := url.Parse(o); err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			log.Fatalf("pano-edge: bad origin %q (want http[s]://host[:port])", o)
+		}
 	}
 	chaosProfile, err := chaos.Parse(*chaosSpec)
 	if err != nil {
@@ -104,8 +133,8 @@ func main() {
 		})
 	}
 
-	e, err := edge.New(edge.Config{
-		Origin:         *origin,
+	ecfg := edge.Config{
+		Origin:         fleetOrigins[0],
 		CacheBytes:     *cacheBytes,
 		TTL:            *ttl,
 		NegTTL:         *negTTL,
@@ -116,7 +145,12 @@ func main() {
 		Log:            evlog,
 		Tracer:         tracer,
 		Telemetry:      sampler,
-	})
+	}
+	if len(fleetOrigins) > 1 {
+		ecfg.Origins = fleetOrigins
+		ecfg.ProbeInterval = *probeInterval
+	}
+	e, err := edge.New(ecfg)
 	if err != nil {
 		log.Fatalf("pano-edge: %v", err)
 	}
@@ -157,8 +191,13 @@ func main() {
 	if *cacheBytes == 0 {
 		mode = "pass-through"
 	}
+	originDesc := fleetOrigins[0]
+	if len(fleetOrigins) > 1 {
+		originDesc = fmt.Sprintf("fleet of %d shards %s (probe %s)",
+			len(fleetOrigins), strings.Join(fleetOrigins, ","), *probeInterval)
+	}
 	log.Printf("edge (%s) for origin %s on %s (cache %d bytes, ttl %s, prefetch budget %d, %d peer traces; metrics at /metrics)",
-		mode, *origin, *addr, *cacheBytes, *ttl, *prefetch, len(peers))
+		mode, originDesc, *addr, *cacheBytes, *ttl, *prefetch, len(peers))
 	// Same graceful pattern as pano-server: drain in-flight responses on
 	// SIGINT/SIGTERM.
 	if err := graceful.Serve(*addr, handler, graceful.DefaultDrain, sampler); err != nil {

@@ -75,6 +75,41 @@ type Window struct {
 	Flaky  int
 }
 
+// Down is a whole-endpoint outage schedule: unlike the per-request
+// rates above, it takes the entire handler down — every path, including
+// health probes — so fleet tests and the swarm can kill a whole origin.
+// It is evaluated against elapsed time since the injector started (the
+// swarm substitutes virtual elapsed time), which keeps flapping windows
+// reproducible in discrete-event runs.
+//
+// Always is a permanent outage. Otherwise the outage starts After into
+// the run and lasts For; a positive Every repeats the window with that
+// period (flapping), while Every == 0 is a one-shot outage.
+type Down struct {
+	Always bool
+	After  time.Duration
+	For    time.Duration
+	Every  time.Duration
+}
+
+// active reports whether the schedule can ever take the handler down.
+func (d Down) active() bool { return d.Always || d.For > 0 }
+
+// At reports whether the handler is down at elapsed time t.
+func (d Down) At(t time.Duration) bool {
+	if d.Always {
+		return true
+	}
+	if d.For <= 0 || t < d.After {
+		return false
+	}
+	t -= d.After
+	if d.Every > 0 {
+		t %= d.Every
+	}
+	return t < d.For
+}
+
 // Profile is a full injection configuration.
 type Profile struct {
 	// Seed drives every probabilistic decision.
@@ -85,10 +120,15 @@ type Profile struct {
 	Tile     Rule
 	// Window optionally gates both rules.
 	Window Window
+	// Down takes the whole handler (every path) down on a time
+	// schedule, independent of the per-request rules.
+	Down Down
 }
 
 // Enabled reports whether the profile can inject anything.
-func (p Profile) Enabled() bool { return p.Manifest.active() || p.Tile.active() }
+func (p Profile) Enabled() bool {
+	return p.Manifest.active() || p.Tile.active() || p.Down.active()
+}
 
 // Option configures an Injector.
 type Option func(*Injector)
@@ -105,26 +145,37 @@ func WithEventLog(l *obs.EventLog) Option {
 	return func(in *Injector) { in.log = l }
 }
 
+// WithNow replaces the Down schedule's clock (tests drive outage
+// windows deterministically with a fake clock). The injector's start
+// time is read from the clock when New returns.
+func WithNow(now func() time.Time) Option {
+	return func(in *Injector) { in.now = now }
+}
+
 // Injector wraps handlers with the faults of one Profile. It is safe
 // for concurrent use; decision determinism is per (path, attempt), so
 // concurrent sessions do not perturb each other's draws (only the
 // shared window schedule is ordered by arrival).
 type Injector struct {
-	p   Profile
-	reg *obs.Registry
-	log *obs.EventLog
+	p     Profile
+	reg   *obs.Registry
+	log   *obs.EventLog
+	start time.Time
+	now   func() time.Time // Down schedule clock (tests may override)
 
 	mu   sync.Mutex
 	seq  map[string]uint64 // per-path request count
 	reqs uint64            // global wrapped-request count (window schedule)
 }
 
-// New returns an injector for the profile.
+// New returns an injector for the profile. The Down schedule's clock
+// starts now.
 func New(p Profile, opts ...Option) *Injector {
-	in := &Injector{p: p, seq: make(map[string]uint64)}
+	in := &Injector{p: p, seq: make(map[string]uint64), now: time.Now}
 	for _, o := range opts {
 		o(in)
 	}
+	in.start = in.now()
 	return in
 }
 
@@ -211,6 +262,13 @@ func (in *Injector) Wrap(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The outage schedule is checked before endpoint classification:
+		// a down origin answers nothing, health probes included.
+		if in.p.Down.active() && in.p.Down.At(in.now().Sub(in.start)) {
+			in.inject("all", "down", r)
+			trace.FromContext(r.Context()).Annotate("chaos.down", true)
+			panic(http.ErrAbortHandler)
+		}
 		endpoint, rule, ok := in.endpointRule(r.URL.Path)
 		if !ok || !rule.active() {
 			next.ServeHTTP(w, r)

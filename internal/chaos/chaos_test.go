@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -245,6 +246,101 @@ func TestMetricsAndEvents(t *testing.T) {
 	}
 	if e, ok := el.Last("chaos_injected"); !ok || e.Str("kind") != "error" {
 		t.Errorf("no chaos_injected event logged: %v %v", e, ok)
+	}
+}
+
+func TestDownSchedule(t *testing.T) {
+	cases := []struct {
+		d    Down
+		t    time.Duration
+		want bool
+	}{
+		{Down{Always: true}, 0, true},
+		{Down{Always: true}, time.Hour, true},
+		{Down{}, 0, false},
+		{Down{After: time.Second, For: 2 * time.Second}, 500 * time.Millisecond, false},
+		{Down{After: time.Second, For: 2 * time.Second}, time.Second, true},
+		{Down{After: time.Second, For: 2 * time.Second}, 2900 * time.Millisecond, true},
+		{Down{After: time.Second, For: 2 * time.Second}, 3 * time.Second, false},
+		// Flapping: 1s down out of every 4s, starting at 2s.
+		{Down{After: 2 * time.Second, For: time.Second, Every: 4 * time.Second}, time.Second, false},
+		{Down{After: 2 * time.Second, For: time.Second, Every: 4 * time.Second}, 2500 * time.Millisecond, true},
+		{Down{After: 2 * time.Second, For: time.Second, Every: 4 * time.Second}, 4 * time.Second, false},
+		{Down{After: 2 * time.Second, For: time.Second, Every: 4 * time.Second}, 6500 * time.Millisecond, true},
+		{Down{After: 2 * time.Second, For: time.Second, Every: 4 * time.Second}, 7500 * time.Millisecond, false},
+	}
+	for _, c := range cases {
+		if got := c.d.At(c.t); got != c.want {
+			t.Errorf("%+v.At(%v) = %v, want %v", c.d, c.t, got, c.want)
+		}
+	}
+}
+
+func TestDownOutageAbortsEveryPath(t *testing.T) {
+	in := New(Profile{Down: Down{Always: true}})
+	if !in.Profile().Enabled() {
+		t.Fatal("down-only profile must report enabled")
+	}
+	ts := httptest.NewServer(in.Wrap(backend(32)))
+	defer ts.Close()
+
+	// Down takes out every path, not just the classified endpoints.
+	for _, path := range []string{"/manifest.json", "/video/0/0/0.bin", "/healthz"} {
+		if _, _, err := get(t, ts.URL+path); err == nil {
+			t.Errorf("GET %s succeeded during a hard outage", path)
+		}
+	}
+}
+
+func TestDownWindowRecovers(t *testing.T) {
+	// A fake clock drives the outage window: up at t=0, down during
+	// [1s, 3s), up again after. Atomic because server goroutines read
+	// it through WithNow while the test advances it between requests.
+	var now atomic.Int64
+	now.Store(time.Unix(100, 0).UnixNano())
+	in := New(Profile{Down: Down{After: time.Second, For: 2 * time.Second}},
+		WithNow(func() time.Time { return time.Unix(0, now.Load()) }))
+	ts := httptest.NewServer(in.Wrap(backend(32)))
+	defer ts.Close()
+
+	if resp, _, err := get(t, ts.URL+"/video/0/0/0.bin"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-outage request failed: status %v err %v", resp, err)
+	}
+	now.Add(int64(2 * time.Second))
+	if _, _, err := get(t, ts.URL+"/video/0/0/0.bin"); err == nil {
+		t.Fatal("request succeeded inside the outage window")
+	}
+	now.Add(int64(2 * time.Second))
+	if resp, _, err := get(t, ts.URL+"/video/0/0/0.bin"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-outage request failed: status %v err %v", resp, err)
+	}
+}
+
+func TestDownSpecRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"down=always",
+		"down=1s+2s",
+		"down=1s+2s/10s",
+		"seed=7,down=500ms+1s,tile-error=0.1",
+	} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if !p.Down.active() {
+			t.Errorf("Parse(%q): down schedule inactive: %+v", spec, p.Down)
+		}
+		p2, err := Parse(p.String())
+		if err != nil || p2 != p {
+			t.Errorf("round trip of %q changed profile: %+v vs %+v (err %v)", spec, p, p2, err)
+		}
+	}
+	for _, bad := range []string{
+		"down=", "down=1s", "down=x+1s", "down=1s+0s", "down=1s+2s/1s", "down=1s+2s/x",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
 	}
 }
 

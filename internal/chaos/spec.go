@@ -16,6 +16,9 @@ import (
 //
 //	seed=N                 decision seed (default 1)
 //	window=P:F             flaky window: F flaky requests per period of P
+//	down=always            hard outage: every request aborted
+//	down=A+F               outage window: down F long, starting A in
+//	down=A+F/E             flapping: the A+F window repeats every E
 //	manifest-error=R       manifest 500 probability
 //	manifest-latency=D     manifest added latency
 //	tile-error=R           tile 500 probability
@@ -55,6 +58,8 @@ func Parse(spec string) (Profile, error) {
 			if p.Window.Period, err = strconv.Atoi(per); err == nil {
 				p.Window.Flaky, err = strconv.Atoi(fl)
 			}
+		case "down":
+			p.Down, err = parseDown(val)
 		case "manifest-error":
 			p.Manifest.ErrorRate, err = parseRate(val)
 		case "manifest-latency":
@@ -85,6 +90,39 @@ func Parse(spec string) (Profile, error) {
 	return p, nil
 }
 
+// parseDown parses an outage schedule: "always", "A+F" (one-shot
+// window), or "A+F/E" (flapping with period E).
+func parseDown(s string) (Down, error) {
+	if s == "always" {
+		return Down{Always: true}, nil
+	}
+	after, rest, ok := strings.Cut(s, "+")
+	if !ok {
+		return Down{}, fmt.Errorf("bad down %q (want always, A+F, or A+F/E)", s)
+	}
+	var d Down
+	var err error
+	if d.After, err = time.ParseDuration(after); err != nil {
+		return Down{}, err
+	}
+	forPart, every, flap := strings.Cut(rest, "/")
+	if d.For, err = time.ParseDuration(forPart); err != nil {
+		return Down{}, err
+	}
+	if d.For <= 0 {
+		return Down{}, fmt.Errorf("down window %q must be positive", forPart)
+	}
+	if flap {
+		if d.Every, err = time.ParseDuration(every); err != nil {
+			return Down{}, err
+		}
+		if d.Every <= d.For {
+			return Down{}, fmt.Errorf("down period %q must exceed the window %q", every, forPart)
+		}
+	}
+	return d, nil
+}
+
 func parseRate(s string) (float64, error) {
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
@@ -108,6 +146,16 @@ func (p Profile) String() string {
 	}
 	if p.Window.Period > 0 {
 		add("window", fmt.Sprintf("%d:%d", p.Window.Period, p.Window.Flaky))
+	}
+	switch {
+	case p.Down.Always:
+		add("down", "always")
+	case p.Down.active():
+		v := p.Down.After.String() + "+" + p.Down.For.String()
+		if p.Down.Every > 0 {
+			v += "/" + p.Down.Every.String()
+		}
+		add("down", v)
 	}
 	rate := func(key string, v float64) {
 		if v > 0 {

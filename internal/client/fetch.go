@@ -51,6 +51,25 @@ type FetchPolicy struct {
 	MinAttemptTimeout time.Duration
 	// Seed drives the backoff jitter (deterministic for tests/benches).
 	Seed uint64
+
+	// Hedging applies when fetching through a multi-origin fleet
+	// (internal/fleet); a single origin never hedges. HedgeDelay is the
+	// wait before a backup request goes to the next ring replica: 0
+	// selects an adaptive delay tracking the observed p95 fetch latency,
+	// a negative value disables hedging.
+	HedgeDelay time.Duration
+	// HedgeMinDelay/HedgeMaxDelay clamp the adaptive delay (defaults
+	// 10ms and 1s) so a cold latency tracker neither hedges instantly
+	// nor never.
+	HedgeMinDelay time.Duration
+	HedgeMaxDelay time.Duration
+	// HedgeBudgetRatio is the token-bucket earn rate guarding hedges and
+	// failover retries: each primary request earns this many tokens and
+	// each hedge or failover spends one (default 0.1 — at most ~10%
+	// extra origin load, so shard loss never becomes a retry storm).
+	// HedgeBudgetBurst caps the bucket (default 8).
+	HedgeBudgetRatio float64
+	HedgeBudgetBurst float64
 }
 
 // DefaultFetchPolicy returns the default resilient policy.
@@ -62,6 +81,10 @@ func DefaultFetchPolicy() FetchPolicy {
 		JitterFrac:        0.5,
 		AttemptTimeout:    5 * time.Second,
 		MinAttemptTimeout: 100 * time.Millisecond,
+		HedgeMinDelay:     10 * time.Millisecond,
+		HedgeMaxDelay:     time.Second,
+		HedgeBudgetRatio:  0.1,
+		HedgeBudgetBurst:  8,
 	}
 }
 
@@ -86,8 +109,30 @@ func (p FetchPolicy) withDefaults() FetchPolicy {
 	if p.MinAttemptTimeout <= 0 {
 		p.MinAttemptTimeout = d.MinAttemptTimeout
 	}
+	if p.HedgeMinDelay <= 0 {
+		p.HedgeMinDelay = d.HedgeMinDelay
+	}
+	if p.HedgeMaxDelay <= 0 {
+		p.HedgeMaxDelay = d.HedgeMaxDelay
+	}
+	if p.HedgeBudgetRatio <= 0 {
+		p.HedgeBudgetRatio = d.HedgeBudgetRatio
+	}
+	if p.HedgeBudgetBurst <= 0 {
+		p.HedgeBudgetBurst = d.HedgeBudgetBurst
+	}
 	return p
 }
+
+// WithDefaults returns the policy with zero fields filled from
+// DefaultFetchPolicy — the same normalization every fetch entry point
+// applies, exported so the fleet layer resolves hedge tuning
+// identically.
+func (p FetchPolicy) WithDefaults() FetchPolicy { return p.withDefaults() }
+
+// HedgingEnabled reports whether the policy allows hedged fetches
+// (negative HedgeDelay turns them off).
+func (p FetchPolicy) HedgingEnabled() bool { return p.HedgeDelay >= 0 }
 
 // attemptTimeout derives the per-attempt deadline from buffer
 // occupancy: each attempt may spend at most half the remaining playback
@@ -123,6 +168,17 @@ func (p FetchPolicy) backoff(attempt int, rng *mathx.RNG) time.Duration {
 	}
 	return d
 }
+
+// Backoff returns the jittered delay before retry number attempt
+// (0-based) — the exported form of the ladder's backoff, so the fleet
+// layer paces its failover rounds identically.
+func (p FetchPolicy) Backoff(attempt int, rng *mathx.RNG) time.Duration {
+	return p.backoff(attempt, rng)
+}
+
+// ErrorClass buckets a fetch error into the pipeline's low-cardinality
+// class names (see errorClass) for metrics shared across packages.
+func ErrorClass(err error) string { return errorClass(err) }
 
 // retryable classifies a fetch error: 4xx server answers are final for
 // this rung; everything else (5xx, transport errors, truncated or

@@ -1,0 +1,236 @@
+package edge
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pano/internal/client"
+	"pano/internal/fleet"
+	"pano/internal/obs"
+	"pano/internal/viewport"
+)
+
+// dumpFleetMetrics logs the fleet/hedge/outage slice of the registry —
+// failure diagnostics for the timing-sensitive assertions below.
+func dumpFleetMetrics(t *testing.T, reg *obs.Registry) {
+	t.Helper()
+	var b strings.Builder
+	_ = reg.WritePrometheus(&b)
+	for _, ln := range strings.Split(b.String(), "\n") {
+		if strings.Contains(ln, "fleet") || strings.Contains(ln, "hedge") || strings.Contains(ln, "outage") {
+			t.Log(ln)
+		}
+	}
+}
+
+// killSwitch turns an origin into a hard outage (connection aborts on
+// every path, health probes included) when tripped.
+type killSwitch struct {
+	h    http.Handler
+	down atomic.Bool
+}
+
+func (k *killSwitch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.down.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	k.h.ServeHTTP(w, r)
+}
+
+// newShardFleet spins up n independent origin servers over the shared
+// fixture, each behind its own kill switch.
+func newShardFleet(t *testing.T, n int) ([]string, []*countingOrigin, []*killSwitch) {
+	t.Helper()
+	var urls []string
+	var origins []*countingOrigin
+	var kills []*killSwitch
+	for i := 0; i < n; i++ {
+		o := newOrigin(t)
+		k := &killSwitch{h: o}
+		ts := httptest.NewServer(k)
+		t.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+		origins = append(origins, o)
+		kills = append(kills, k)
+	}
+	return urls, origins, kills
+}
+
+// TestEdgeTotalOutageLadder: with every shard dead, the edge runs the
+// full degradation ladder — cached objects serve stale within StaleFor,
+// uncached objects get one fleet attempt and then a negative-cached 502
+// that stops hammering the dead fleet.
+func TestEdgeTotalOutageLadder(t *testing.T) {
+	urls, origins, kills := newShardFleet(t, 2)
+	_, ets, reg := newEdge(t, urls[0], func(c *Config) {
+		c.Origins = urls
+		c.TTL = 50 * time.Millisecond
+		c.StaleFor = 10 * time.Minute
+		c.NegTTL = 10 * time.Minute
+		c.Breaker = fleet.BreakerConfig{FailureThreshold: 2, OpenFor: time.Minute}
+	})
+
+	_, b1, _ := get(t, ets.URL+"/video/0/1/0.bin")
+	for _, k := range kills {
+		k.down.Store(true)
+	}
+	time.Sleep(80 * time.Millisecond) // entry is now stale
+
+	// Rung 1: the stale copy absorbs the outage for cached objects.
+	code, b2, h := get(t, ets.URL+"/video/0/1/0.bin")
+	if code != http.StatusOK || h.Get("X-Cache") != "stale" {
+		t.Fatalf("total outage, cached object: code %d X-Cache %q, want 200/stale", code, h.Get("X-Cache"))
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("stale body differs from original")
+	}
+
+	// Rung 2: an uncached object fails over the whole (dead) ring once,
+	// answers 502, and the failure is negative-cached.
+	code, _, _ = get(t, ets.URL+"/video/0/2/0.bin")
+	if code != http.StatusBadGateway {
+		t.Fatalf("total outage, uncached object: code %d, want 502", code)
+	}
+	if got := reg.CounterValue("pano_edge_outage_negatives_total"); got != 1 {
+		t.Errorf("outage_negatives = %v, want 1", got)
+	}
+
+	// Rung 3: the negative entry replays from cache — zero origin
+	// traffic for repeated requests to a dead object.
+	before := origins[0].tiles.Load() + origins[1].tiles.Load()
+	code, _, h = get(t, ets.URL+"/video/0/2/0.bin")
+	if code != http.StatusBadGateway || h.Get("X-Cache") != "hit" {
+		t.Errorf("negative-cached outage answer: code %d X-Cache %q, want 502/hit", code, h.Get("X-Cache"))
+	}
+	if after := origins[0].tiles.Load() + origins[1].tiles.Load(); after != before {
+		t.Errorf("cached 502 still produced %d origin requests", after-before)
+	}
+}
+
+// TestEdgeFleetFailoverZeroAborts: 4 shards, one hard-killed mid-run
+// (then recovering); concurrent streaming sessions ride through the
+// outage with zero aborts and zero skipped tiles while the breaker
+// opens and traffic fails over along the ring. The kill is
+// progress-gated (after the origins have served part of the workload)
+// rather than wall-clock-gated, so the test holds on any machine speed.
+// Run under -race.
+func TestEdgeFleetFailoverZeroAborts(t *testing.T) {
+	m, v := fixture(t)
+	urls, origins, kills := newShardFleet(t, 4)
+	e, ets, reg := newEdge(t, urls[0], func(c *Config) {
+		c.Origins = urls
+		c.ProbeInterval = 100 * time.Millisecond
+		c.Breaker = fleet.BreakerConfig{FailureThreshold: 2, OpenFor: 300 * time.Millisecond}
+		// Hedging stays enabled but with a fixed delay far above local
+		// fetch latency: connection aborts from the dead shard fail over
+		// sequentially without hedges draining the failover budget.
+		c.Fetch.HedgeDelay = 150 * time.Millisecond
+	})
+
+	rate := 0.35 * m.ChunkBits(0, 0) / m.ChunkSec
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	skipped := make([]int, len(errs))
+	sawOpen := make(chan struct{})
+	done := make(chan struct{})
+	defer close(done)
+	totalTiles := func() int64 {
+		var n int64
+		for _, o := range origins {
+			n += o.tiles.Load()
+		}
+		return n
+	}
+	stopping := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	go func() {
+		// Kill shard 0 once the fleet has demonstrably served part of the
+		// run (the full run takes ~90 origin fills), wait for a breaker to
+		// notice — in-band failures or, if the sessions already drained,
+		// the active probes — then restore the shard so probes close the
+		// breaker again.
+		for totalTiles() < 20 && !stopping() {
+			time.Sleep(time.Millisecond)
+		}
+		kills[0].down.Store(true)
+		for !stopping() {
+			open := false
+			for _, st := range e.Fleet().Snapshot() {
+				if st.Breaker != fleet.Closed {
+					open = true
+				}
+			}
+			if open {
+				close(sawOpen)
+				kills[0].down.Store(false)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr := viewport.Synthesize(v, uint64(40+i), viewport.DefaultSynthesizeOpts())
+			res, err := client.New(ets.URL).Stream(context.Background(), tr, client.StreamConfig{
+				MaxRateBps: rate,
+				Fetch:      fastPolicy(),
+			})
+			errs[i] = err
+			if err == nil {
+				skipped[i] = res.SkippedTiles
+				if len(res.Chunks) != m.NumChunks() {
+					errs[i] = fmt.Errorf("streamed %d chunks, want %d", len(res.Chunks), m.NumChunks())
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("session %d aborted: %v", i, err)
+		}
+		if skipped[i] > 0 {
+			t.Errorf("session %d skipped %d tiles during failover", i, skipped[i])
+		}
+	}
+	select {
+	case <-sawOpen:
+	case <-time.After(5 * time.Second):
+		t.Error("shard 0's breaker never left closed during its outage")
+	}
+	if got := reg.CounterValue("pano_fleet_failovers_total"); got == 0 {
+		t.Error("no fleet failovers recorded with a dead shard")
+		dumpFleetMetrics(t, reg)
+	}
+	// Every live shard carried traffic: the ring redistributes the dead
+	// shard's keys instead of dogpiling one successor.
+	for i := 1; i < 4; i++ {
+		if got := reg.CounterValue("pano_fleet_requests_total", obs.L("origin", fmt.Sprintf("%d", i))); got == 0 {
+			t.Errorf("origin %d saw no requests", i)
+		}
+	}
+	// Recovery: once the down window passes, probes close the breaker.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if e.Fleet().Snapshot()[0].Breaker == fleet.Closed {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Errorf("shard 0's breaker never closed after recovery: %+v", e.Fleet().Snapshot())
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pano/internal/client"
+	"pano/internal/fleet"
 	"pano/internal/manifest"
 	"pano/internal/mathx"
 	"pano/internal/obs"
@@ -24,6 +25,17 @@ import (
 type Config struct {
 	// Origin is the origin server's base URL, e.g. "http://origin:8360".
 	Origin string
+	// Origins, when non-empty, replaces Origin with a sharded origin
+	// fleet: cache fills route through internal/fleet (consistent-hash
+	// placement, circuit breakers, hedged fetches, ring failover)
+	// instead of a single origin URL.
+	Origins []string
+	// ProbeInterval enables the fleet's active health probes (fleet
+	// mode only; 0 = passive signals alone).
+	ProbeInterval time.Duration
+	// Breaker tunes the fleet's per-origin circuit breakers (fleet mode
+	// only; zero value = fleet defaults).
+	Breaker fleet.BreakerConfig
 	// CacheBytes is the cache budget. 0 disables caching entirely: the
 	// edge becomes a transparent pass-through proxy whose responses are
 	// byte-identical to talking to the origin directly.
@@ -88,7 +100,8 @@ func (c Config) withDefaults() Config {
 type Edge struct {
 	cfg    Config
 	origin *client.Client
-	cache  *Cache // nil = pass-through mode
+	fl     *fleet.Fleet // nil = single-origin mode
+	cache  *Cache       // nil = pass-through mode
 	flight flightGroup
 	pf     *prefetcher
 
@@ -105,8 +118,8 @@ type Edge struct {
 
 // New validates cfg and returns an Edge.
 func New(cfg Config) (*Edge, error) {
-	if cfg.Origin == "" {
-		return nil, fmt.Errorf("edge: Origin is required")
+	if cfg.Origin == "" && len(cfg.Origins) == 0 {
+		return nil, fmt.Errorf("edge: Origin or Origins is required")
 	}
 	cfg = cfg.withDefaults()
 	e := &Edge{
@@ -114,6 +127,24 @@ func New(cfg Config) (*Edge, error) {
 		reg:    cfg.Obs,
 		log:    cfg.Log,
 		tracer: cfg.Tracer,
+	}
+	if len(cfg.Origins) > 0 {
+		fl, err := fleet.New(fleet.Config{
+			Origins:       cfg.Origins,
+			Fetch:         cfg.Fetch,
+			Breaker:       cfg.Breaker,
+			ProbeInterval: cfg.ProbeInterval,
+			Seed:          cfg.Fetch.Seed,
+			HTTP:          cfg.HTTP,
+			Obs:           cfg.Obs,
+			Log:           cfg.Log,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("edge: %v", err)
+		}
+		e.fl = fl
+		cfg.Origin = cfg.Origins[0]
+		e.cfg.Origin = cfg.Origins[0]
 	}
 	e.origin = client.New(cfg.Origin)
 	if cfg.HTTP != nil {
@@ -132,12 +163,18 @@ func New(cfg Config) (*Edge, error) {
 	return e, nil
 }
 
-// Close stops the prefetch workers (demand serving needs no teardown).
+// Close stops the prefetch workers and the fleet's health probers.
 func (e *Edge) Close() {
 	if e.pf != nil {
 		e.pf.close()
 	}
+	if e.fl != nil {
+		e.fl.Close()
+	}
 }
+
+// Fleet returns the origin fleet (nil in single-origin mode).
+func (e *Edge) Fleet() *fleet.Fleet { return e.fl }
 
 // DrainPrefetch blocks until every enqueued prefetch job has finished —
 // deterministic warm-state for tests and benchmarks.
@@ -164,6 +201,7 @@ func (e *Edge) CacheBytes() int64 {
 //
 //	GET /manifest.json, /manifest.mpd, /video/{chunk}/{tile}/{level}.bin
 //	    — proxied (and, unless CacheBytes is 0, cached) from the origin
+//	GET /healthz        — liveness probe (fleet health checks target it)
 //	GET /metrics        — Prometheus exposition (only with Obs)
 //	GET /debug/events   — event-log ring buffer (only with Log)
 //	GET /debug/traces   — finished traces (only with Tracer)
@@ -183,6 +221,10 @@ func (e *Edge) Handler() http.Handler {
 	})
 	mux.HandleFunc("/video/", func(w http.ResponseWriter, r *http.Request) {
 		e.proxy("tile", w, r)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
 	})
 	if e.reg != nil {
 		mux.Handle("/metrics", e.reg.Handler())
@@ -383,13 +425,34 @@ func (e *Edge) fill(ctx context.Context, path, endpoint string, stale *Entry, st
 			"origin round-trips issued by the edge (conditional and full), by endpoint",
 			obs.L("endpoint", endpoint)).Inc()
 		t0 := time.Now()
-		res, err := e.origin.FetchRaw(fctx, path, etag, e.cfg.Fetch, rng)
+		var res client.RawResult
+		var err error
+		if e.fl != nil {
+			// Fleet mode: placement, failover, and hedging live in the
+			// fleet; the ring decides which origin answers this path.
+			res, err = e.fl.Fetch(fctx, path, etag)
+		} else {
+			res, err = e.origin.FetchRaw(fctx, path, etag, e.cfg.Fetch, rng)
+		}
 		if err != nil {
 			sp.SetError("origin")
 			if state == Stale {
 				e.reg.Counter("pano_edge_revalidations_total",
 					"stale-entry revalidations against the origin by outcome",
 					obs.L("result", "error")).Inc()
+			}
+			if stale == nil {
+				// Total-outage ladder, last rung: with nothing to serve
+				// stale, negative-cache the failure for NegTTL so a dead
+				// fleet answers from cache instead of absorbing a fetch
+				// per request.
+				e.cache.Put(&Entry{
+					Key: path, Status: http.StatusBadGateway,
+					Body:        []byte("edge: origin unreachable\n"),
+					ContentType: "text/plain; charset=utf-8",
+				}, time.Now(), e.cfg.NegTTL)
+				e.reg.Counter("pano_edge_outage_negatives_total",
+					"origin-unreachable answers negative-cached for NegTTL").Inc()
 			}
 			return &fillResult{err: err}
 		}
@@ -450,7 +513,13 @@ func (e *Edge) learnManifest(body []byte) {
 // answer byte-for-byte — the cache-disabled mode whose wire behaviour
 // is indistinguishable from talking to the origin directly.
 func (e *Edge) passthrough(endpoint string, w http.ResponseWriter, r *http.Request) {
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, e.cfg.Origin+r.URL.RequestURI(), nil)
+	base := e.cfg.Origin
+	if e.fl != nil {
+		// Fleet mode keeps ring placement even without a cache: the
+		// path's first healthy replica serves it.
+		base = e.fl.Pick(r.URL.Path)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, base+r.URL.RequestURI(), nil)
 	if err != nil {
 		http.Error(w, "edge: "+err.Error(), http.StatusBadGateway)
 		return

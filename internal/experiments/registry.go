@@ -45,6 +45,7 @@ var registry = map[string]Runner{
 	"trace":     tableOnly3(TraceBench),
 	"edge":      tableOnly3(EdgeBench),
 	"swarm":     tableOnly3(SwarmBench),
+	"fleet":     tableOnly3(FleetBench),
 	"telemetry": tableOnly3(TelemetryBench),
 	"tab2": func(d *Dataset) (*Table, error) {
 		return Table2(d), nil

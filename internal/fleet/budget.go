@@ -1,0 +1,56 @@
+package fleet
+
+import "sync"
+
+// Budget is the token bucket guarding hedges and failover retries.
+// Every primary request earns `ratio` tokens (capped at `burst`); every
+// hedge or failover spends one. With the default ratio 0.1 the fleet
+// adds at most ~10% extra origin load no matter how badly a shard
+// misbehaves — the property that turns failover into a bounded cost
+// instead of a retry storm.
+type Budget struct {
+	ratio, burst float64
+
+	mu     sync.Mutex
+	tokens float64
+}
+
+// NewBudget returns a full bucket (a cold start may fail over
+// immediately). Non-positive arguments select ratio 0.1 and burst 8.
+func NewBudget(ratio, burst float64) *Budget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if burst <= 0 {
+		burst = 8
+	}
+	return &Budget{ratio: ratio, burst: burst, tokens: burst}
+}
+
+// Earn credits one primary request.
+func (b *Budget) Earn() {
+	b.mu.Lock()
+	if b.tokens += b.ratio; b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Spend takes one token; it reports false (and takes nothing) when the
+// bucket holds less than a full token.
+func (b *Budget) Spend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens reads the current balance.
+func (b *Budget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

@@ -227,9 +227,13 @@ func (r *Registry) lookup(name string, labels []Label) *seriesEntry {
 	return f.series[labelKey(labels)]
 }
 
-// Counter is a monotonically increasing float64. Nil-safe.
+// Counter is a monotonically increasing float64. Nil-safe. It can hold
+// one exemplar — the trace id of the most recent traced increment — so
+// a rare-event counter (a hedge fired, a budget ran dry) links straight
+// to the triggering trace (see IncExemplar).
 type Counter struct {
-	bits atomic.Uint64
+	bits     atomic.Uint64
+	exemplar atomic.Pointer[Exemplar]
 }
 
 // Inc adds 1.
@@ -241,6 +245,31 @@ func (c *Counter) Add(d float64) {
 		return
 	}
 	addFloat(&c.bits, d)
+}
+
+// IncExemplar adds 1 and attaches traceID as the counter's exemplar
+// (last write wins, so the exemplar always points at a recent
+// triggering trace). An empty traceID degrades to a plain Inc.
+func (c *Counter) IncExemplar(traceID string) {
+	if c == nil {
+		return
+	}
+	addFloat(&c.bits, 1)
+	if traceID != "" {
+		c.exemplar.Store(&Exemplar{Value: 1, TraceID: traceID})
+	}
+}
+
+// Exemplar returns the counter's current exemplar (ok is false when it
+// has none).
+func (c *Counter) Exemplar() (Exemplar, bool) {
+	if c == nil {
+		return Exemplar{}, false
+	}
+	if e := c.exemplar.Load(); e != nil {
+		return *e, true
+	}
+	return Exemplar{}, false
 }
 
 // Value returns the current value.
@@ -375,6 +404,15 @@ func (h *Histogram) Exemplars() []Exemplar {
 	return out
 }
 
+// CounterExemplar reads a counter series' exemplar (ok is false when
+// the series does not exist or holds none).
+func (r *Registry) CounterExemplar(name string, labels ...Label) (Exemplar, bool) {
+	if e := r.lookup(name, labels); e != nil && e.counter != nil {
+		return e.counter.Exemplar()
+	}
+	return Exemplar{}, false
+}
+
 // HistogramExemplars reads a histogram series' bucket exemplars (nil
 // when the series does not exist or holds none).
 func (r *Registry) HistogramExemplars(name string, labels ...Label) []Exemplar {
@@ -471,6 +509,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			switch f.typ {
 			case counterType:
 				fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(e.labels, nil), fmtFloat(e.counter.Value()))
+				if ex, ok := e.counter.Exemplar(); ok {
+					fmt.Fprintf(&b, "# exemplar %s%s trace_id=%q %s\n",
+						f.name, renderLabels(e.labels, nil), ex.TraceID, fmtFloat(ex.Value))
+				}
 			case gaugeType:
 				fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(e.labels, nil), fmtFloat(e.gauge.Value()))
 			case histogramType:

@@ -219,3 +219,38 @@ func TestBucketHelpers(t *testing.T) {
 		t.Fatalf("ExponentialBuckets = %v", exp)
 	}
 }
+
+func TestCounterExemplar(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pano_test_hedge_total", "test", L("kind", "win"))
+	if _, ok := c.Exemplar(); ok {
+		t.Fatal("fresh counter holds an exemplar")
+	}
+	c.IncExemplar("")
+	if _, ok := c.Exemplar(); ok {
+		t.Fatal("empty trace id must not attach an exemplar")
+	}
+	c.IncExemplar("aaaa")
+	c.IncExemplar("bbbb")
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	ex, ok := r.CounterExemplar("pano_test_hedge_total", L("kind", "win"))
+	if !ok || ex.TraceID != "bbbb" {
+		t.Fatalf("exemplar = %+v ok=%v, want last trace id bbbb", ex, ok)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# exemplar pano_test_hedge_total{kind="win"} trace_id="bbbb" 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition missing counter exemplar line %q:\n%s", want, b.String())
+	}
+	// Nil counter stays no-op.
+	var nilC *Counter
+	nilC.IncExemplar("cccc")
+	if _, ok := nilC.Exemplar(); ok {
+		t.Fatal("nil counter returned an exemplar")
+	}
+}

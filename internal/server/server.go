@@ -13,6 +13,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -126,6 +127,7 @@ func New(m *manifest.Video, opts ...Option) (*Server, error) {
 //	GET /manifest.json   — the native Pano manifest
 //	GET /manifest.mpd    — DASH MPD projection (SRD-tiled, multi-period)
 //	GET /video/{chunk}/{tile}/{level}.bin
+//	GET /healthz         — liveness probe (fleet health checks target it)
 //	GET /metrics         — Prometheus exposition (only with WithObs)
 //	GET /debug/events    — the event-log ring buffer as a JSON array
 //	                       (only with WithEventLog)
@@ -140,6 +142,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/manifest.json", s.instrument("manifest", s.handleManifest))
 	mux.HandleFunc("/manifest.mpd", s.instrument("mpd", s.handleMPD))
 	mux.HandleFunc("/video/", s.instrument("tile", s.handleTile))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGetHead(w, r) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
 	if s.reg != nil {
 		mux.Handle("/metrics", s.reg.Handler())
 	}

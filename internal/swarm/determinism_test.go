@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pano/internal/chaos"
+	"pano/internal/fleet"
 )
 
 // summaryJSON runs the swarm and marshals the Summary — the part of the
@@ -34,34 +35,49 @@ func summaryJSON(t *testing.T, cfg Config) []byte {
 // determinism also trips the race detector here.
 func TestDeterminismAcrossRunsAndWorkers(t *testing.T) {
 	f := fixture(t)
-	cfg := baseConfig(f)
-	cfg.Sessions = 96
+	base := baseConfig(f)
+	base.Sessions = 96
 	// Exercise the full machinery: faults, backoff jitter, sampled
 	// scoring.
-	cfg.Fault = chaos.Rule{ErrorRate: 0.05, TruncateRate: 0.02, Latency: 20 * time.Millisecond, Jitter: 10 * time.Millisecond}
-	cfg.ScoreEvery = 3
+	base.Fault = chaos.Rule{ErrorRate: 0.05, TruncateRate: 0.02, Latency: 20 * time.Millisecond, Jitter: 10 * time.Millisecond}
+	base.ScoreEvery = 3
 
-	workers := []int{1, 4, runtime.GOMAXPROCS(0)}
-	var ref []byte
-	for _, w := range workers {
-		c := cfg
-		c.Workers = w
-		first := summaryJSON(t, c)
-		second := summaryJSON(t, c)
-		if !bytes.Equal(first, second) {
-			t.Fatalf("workers=%d: two identical runs differ:\n%s\n%s", w, first, second)
-		}
-		if ref == nil {
-			ref = first
-		} else if !bytes.Equal(ref, first) {
-			t.Fatalf("workers=%d differs from workers=%d:\n%s\n%s", w, workers[0], first, ref)
-		}
+	// Fleet mode layers ring failover, per-session breakers, a mid-run
+	// shard outage, and modelled hedging on top — all of which must stay
+	// just as deterministic.
+	fleetCfg := base
+	fleetCfg.Fleet = &FleetConfig{
+		Origins: 4,
+		Outages: []chaos.Down{{After: 5 * time.Second, For: 15 * time.Second, Every: 30 * time.Second}},
+		Breaker: fleet.BreakerConfig{FailureThreshold: 2, OpenFor: 2 * time.Second},
 	}
+	fleetCfg.Fetch.HedgeDelay = 100 * time.Millisecond
 
-	diff := cfg
-	diff.Seed = cfg.Seed + 1
-	if bytes.Equal(ref, summaryJSON(t, diff)) {
-		t.Fatal("different seeds produced identical summaries")
+	for name, cfg := range map[string]Config{"single-origin": base, "fleet": fleetCfg} {
+		t.Run(name, func(t *testing.T) {
+			workers := []int{1, 4, runtime.GOMAXPROCS(0)}
+			var ref []byte
+			for _, w := range workers {
+				c := cfg
+				c.Workers = w
+				first := summaryJSON(t, c)
+				second := summaryJSON(t, c)
+				if !bytes.Equal(first, second) {
+					t.Fatalf("workers=%d: two identical runs differ:\n%s\n%s", w, first, second)
+				}
+				if ref == nil {
+					ref = first
+				} else if !bytes.Equal(ref, first) {
+					t.Fatalf("workers=%d differs from workers=%d:\n%s\n%s", w, workers[0], first, ref)
+				}
+			}
+
+			diff := cfg
+			diff.Seed = cfg.Seed + 1
+			if bytes.Equal(ref, summaryJSON(t, diff)) {
+				t.Fatal("different seeds produced identical summaries")
+			}
+		})
 	}
 }
 

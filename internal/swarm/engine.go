@@ -65,6 +65,10 @@ type Config struct {
 	// Fault injects transport faults per tile request, with the same
 	// seeded draw streams as the chaos HTTP middleware.
 	Fault chaos.Rule
+	// Fleet, when set, shards objects across virtual origins with
+	// per-session breakers, ring failover, and whole-shard outage
+	// schedules (see FleetConfig). nil keeps the single-origin model.
+	Fleet *FleetConfig
 	// Fetch tunes the client's retry ladder (zero = defaults).
 	Fetch client.FetchPolicy
 	// Planner decides per-tile levels (default: the greedy Pano
@@ -131,6 +135,15 @@ func (c *Config) fillDefaults() error {
 		p.Greedy = true
 		c.Planner = p
 	}
+	if c.Fleet != nil {
+		if c.Fleet.Origins <= 0 {
+			return fmt.Errorf("swarm: Config.Fleet.Origins must be positive")
+		}
+		if len(c.Fleet.Outages) > c.Fleet.Origins {
+			return fmt.Errorf("swarm: Config.Fleet.Outages has %d entries for %d origins",
+				len(c.Fleet.Outages), c.Fleet.Origins)
+		}
+	}
 	return nil
 }
 
@@ -169,6 +182,15 @@ type Summary struct {
 	OriginRequests int64   `json:"origin_requests"`
 	OriginPeakRPS  int64   `json:"origin_peak_rps"`
 	OriginMeanRPS  float64 `json:"origin_mean_rps"`
+	// Fleet-mode rollups (Config.Fleet); all omitted in single-origin
+	// runs so their JSON — and the committed swarm baselines — is
+	// unchanged.
+	FleetOrigins      int     `json:"fleet_origins,omitempty"`
+	FleetFailovers    int64   `json:"fleet_failovers,omitempty"`
+	FleetHedges       int64   `json:"fleet_hedges,omitempty"`
+	FleetHedgeWins    int64   `json:"fleet_hedge_wins,omitempty"`
+	FleetBudgetDenied int64   `json:"fleet_budget_denied,omitempty"`
+	FleetShardLoad    []int64 `json:"fleet_shard_requests,omitempty"`
 }
 
 // Report is one swarm run's full outcome: the deterministic Summary
@@ -223,6 +245,12 @@ type sessionStats struct {
 	endSec      float64
 	originReqs  int64
 	result      *client.StreamResult
+	// fleet-mode contributions (nil/zero in single-origin runs)
+	fleetReqs    []int64
+	failovers    int64
+	hedges       int64
+	hedgeWins    int64
+	budgetDenied int64
 }
 
 // Run simulates the population and returns its Report. Sessions are
@@ -242,6 +270,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		manifestBits = float64(len(raw) * 8)
 	}
 	prof := jnd.Default()
+	var place *placement
+	if cfg.Fleet != nil {
+		// One immutable shard map shared by every session.
+		place = newPlacement(cfg.Manifest, cfg.Fleet)
+	}
 
 	// Arrival schedule: the priority queue orders the dispatch feed.
 	q := make(eventQueue, 0, cfg.Sessions)
@@ -270,7 +303,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		go func(load map[int32]int64) {
 			defer wg.Done()
 			for id := range feed {
-				slots[id] = runSession(ctx, &cfg, id, manifestBits, prof, load)
+				slots[id] = runSession(ctx, &cfg, id, manifestBits, prof, load, place)
 			}
 		}(loads[w])
 	}
@@ -288,7 +321,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 // runSession drives one full virtual session and, when sampled, scores
 // the delivered frames against the ground-truth viewpoint trace.
-func runSession(ctx context.Context, cfg *Config, id int, manifestBits float64, prof *jnd.Profile, load map[int32]int64) sessionStats {
+func runSession(ctx context.Context, cfg *Config, id int, manifestBits float64, prof *jnd.Profile, load map[int32]int64, place *placement) sessionStats {
 	p := sessionParams(cfg, id)
 	vp := cfg.Viewports[p.vp]
 	clk := NewVirtualClock(p.arrival)
@@ -296,6 +329,12 @@ func runSession(ctx context.Context, cfg *Config, id int, manifestBits float64, 
 	tp := newNetem(cfg.Manifest, clk, link, cfg.Fault, p.faultSeed, manifestBits, load)
 	pol := cfg.Fetch
 	pol.Seed = p.fetchSeed
+	if cfg.Fleet != nil {
+		def := pol.WithDefaults()
+		tp.fleet = newFleetSim(cfg.Fleet, place, p.faultSeed,
+			def.HedgeBudgetRatio, def.HedgeBudgetBurst)
+		tp.hedgeDelaySec = def.HedgeDelay.Seconds() // <= 0: hedging not modelled
+	}
 
 	res, err := client.RunSession(ctx, tp, vp, client.StreamConfig{
 		BufferTargetSec: cfg.BufferTargetSec,
@@ -312,6 +351,13 @@ func runSession(ctx context.Context, cfg *Config, id int, manifestBits float64, 
 		arrival:    p.arrival,
 		endSec:     clk.NowSec(),
 		originReqs: tp.originReqs,
+	}
+	if tp.fleet != nil {
+		st.fleetReqs = tp.fleet.reqs
+		st.failovers = tp.fleet.failovers
+		st.hedges = tp.fleet.hedges
+		st.hedgeWins = tp.fleet.hedgeWins
+		st.budgetDenied = tp.fleet.budgetDenied
 	}
 	if err != nil {
 		return st
@@ -347,6 +393,10 @@ func runSession(ctx context.Context, cfg *Config, id int, manifestBits float64, 
 // accumulation is deterministic — into the Report.
 func fold(cfg *Config, slots []sessionStats, loads []map[int32]int64) *Report {
 	s := Summary{Sessions: len(slots)}
+	if cfg.Fleet != nil {
+		s.FleetOrigins = cfg.Fleet.Origins
+		s.FleetShardLoad = make([]int64, cfg.Fleet.Origins)
+	}
 	var stallSum, watchSum, startupSum float64
 	var pspnr []float64
 	load := make(map[int32]int64)
@@ -373,6 +423,13 @@ func fold(cfg *Config, slots []sessionStats, loads []map[int32]int64) *Report {
 		s.DegradedTiles += int64(st.degraded)
 		s.SkippedTiles += int64(st.skipped)
 		s.OriginRequests += st.originReqs
+		s.FleetFailovers += st.failovers
+		s.FleetHedges += st.hedges
+		s.FleetHedgeWins += st.hedgeWins
+		s.FleetBudgetDenied += st.budgetDenied
+		for o, n := range st.fleetReqs {
+			s.FleetShardLoad[o] += n
+		}
 		stallSum += st.rebufferSec
 		watchSum += float64(st.chunks) * cfg.Manifest.ChunkSec
 		startupSum += st.startupSec
@@ -466,6 +523,21 @@ func aggregate(reg *obs.Registry, s *Summary, slots []sessionStats) {
 	for i := range slots {
 		if slots[i].scored {
 			h.Observe(slots[i].meanPSPNR)
+		}
+	}
+	if s.FleetOrigins > 0 {
+		reg.Counter("pano_swarm_fleet_failovers_total",
+			"objects answered by a shard beyond the first attempt").Add(float64(s.FleetFailovers))
+		reg.Counter("pano_swarm_fleet_hedges_total",
+			"hedged backup transfers modelled across the swarm").Add(float64(s.FleetHedges))
+		reg.Counter("pano_swarm_fleet_hedge_wins_total",
+			"modelled hedges that beat the primary transfer").Add(float64(s.FleetHedgeWins))
+		reg.Counter("pano_swarm_fleet_budget_denied_total",
+			"fleet ladder steps suppressed by a dry retry budget").Add(float64(s.FleetBudgetDenied))
+		for o, n := range s.FleetShardLoad {
+			reg.Counter("pano_swarm_fleet_requests_total",
+				"swarm origin requests by fleet shard",
+				obs.L("origin", fmt.Sprintf("%d", o))).Add(float64(n))
 		}
 	}
 	reg.Gauge("pano_swarm_peak_concurrency", "peak concurrent sessions in virtual time").

@@ -34,6 +34,12 @@ type netem struct {
 
 	seq        map[uint64]uint64 // per-object request count (fault draw index)
 	originReqs int64
+	// fleet, when set, shards objects across virtual origins with
+	// per-session breakers and ring failover; hedgeDelaySec > 0
+	// additionally models fixed-delay hedged transfers (the adaptive p95
+	// delay is a wall-clock construct and is not modelled here).
+	fleet         *fleetSim
+	hedgeDelaySec float64
 	// load buckets origin requests per virtual second. It is owned by
 	// the calling worker and shared across its sessions (integer adds
 	// commute, so the merged histogram is deterministic regardless of
@@ -61,10 +67,23 @@ func (s *netem) hit() {
 }
 
 // Manifest implements client.Transport: one logical GET over the link.
-// Manifest faults are not modelled — swarm sessions always start.
+// Manifest faults are not modelled — swarm sessions always start. In
+// fleet mode the request lands on the manifest's first live shard in
+// ring order (falling back to its owner: manifests survive whole-fleet
+// outages through the edge cache, so startup is never blocked).
 func (s *netem) Manifest(ctx context.Context) (*manifest.Video, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if s.fleet != nil {
+		shard := s.fleet.place.manifest[0]
+		for _, o := range s.fleet.place.manifest {
+			if !s.fleet.down(o, s.clock.NowSec()) {
+				shard = o
+				break
+			}
+		}
+		s.fleet.reqs[shard]++
 	}
 	s.hit()
 	s.clock.AdvanceSec(s.link.DownloadTime(s.clock.NowSec(), s.manifestBits))
@@ -80,18 +99,40 @@ func tileKey(k, ti int, l codec.Level) uint64 {
 // Tile implements client.Transport: resolve the chunk's fault plan for
 // this attempt, integrate the link for the transfer time, honour the
 // attempt's virtual deadline, and return the delivered bits (exactly
-// the manifest's, floats untouched) or the mapped failure.
+// the manifest's, floats untouched) or the mapped failure. In fleet
+// mode the attempt walks the object's ring order instead (fleetTile).
 func (s *netem) Tile(ctx context.Context, k, ti int, l codec.Level) (float64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
+	bits := s.m.Chunks[k].Tiles[ti].Bits[l]
+	if s.fleet != nil {
+		return s.fleetTile(ctx, k, ti, l, bits)
+	}
+	s.hit()
+	cost, ferr := s.plan(s.draw(k, ti, l), bits)
+	if err := s.advanceCost(ctx, cost); err != nil {
+		return 0, err
+	}
+	if ferr != nil {
+		return 0, ferr
+	}
+	return bits, nil
+}
+
+// draw consumes the object's next fault-draw index. The counter is
+// per-session and advances once per origin attempt, so outcomes are
+// deterministic regardless of which shard serves which attempt.
+func (s *netem) draw(k, ti int, l codec.Level) chaos.Outcome {
 	key := tileKey(k, ti, l)
 	n := s.seq[key]
 	s.seq[key] = n + 1
-	s.hit()
-	o := s.fault.Draw(s.seed, key, n)
-	bits := s.m.Chunks[k].Tiles[ti].Bits[l]
+	return s.fault.Draw(s.seed, key, n)
+}
 
+// plan maps one attempt's fault outcome to its virtual-time cost and
+// terminal error, without moving the clock.
+func (s *netem) plan(o chaos.Outcome, bits float64) (float64, error) {
 	now := s.clock.NowSec()
 	cost := o.Latency.Seconds()
 	var ferr error
@@ -122,17 +163,116 @@ func (s *netem) Tile(ctx context.Context, k, ti int, l codec.Level) (float64, er
 		}
 		cost += dl
 	}
+	return cost, ferr
+}
 
+// advanceCost moves the clock by cost seconds, honouring the attempt's
+// virtual deadline: an over-deadline transfer is observed as a timeout
+// at the deadline, not at completion.
+func (s *netem) advanceCost(ctx context.Context, cost float64) error {
 	done := s.clock.Now().Add(time.Duration(cost * float64(time.Second)))
 	if dl, ok := virtualDeadline(ctx); ok && done.After(dl) {
-		// The attempt deadline expires mid-transfer: the session
-		// observes the timeout at the deadline, not at completion.
 		s.clock.AdvanceTo(dl)
-		return 0, context.DeadlineExceeded
+		return context.DeadlineExceeded
 	}
 	s.clock.AdvanceTo(done)
-	if ferr != nil {
-		return 0, ferr
+	return nil
+}
+
+// fleetTile walks the object's ring order: breaker-denied shards are
+// skipped, a down shard costs a header round-trip and fails over, a
+// fault on a live shard fails over too (the fleet ladder, not the
+// client's, owns intra-fetch retries), and every step beyond the first
+// spends retry budget. A transfer slower than the fixed hedge delay is
+// raced against a modelled backup on the next live shard.
+func (s *netem) fleetTile(ctx context.Context, k, ti int, l codec.Level, bits float64) (float64, error) {
+	fs := s.fleet
+	order := fs.place.tileOrder(k, ti, l)
+	fs.budget.Earn()
+	tried := 0
+	var lastErr error
+	for oi, shard := range order {
+		allowed, _ := fs.brks[shard].Allow(s.clock.Now())
+		if !allowed {
+			continue
+		}
+		if tried > 0 && !fs.budget.Spend() {
+			fs.budgetDenied++
+			break
+		}
+		tried++
+		fs.reqs[shard]++
+		s.hit()
+		if fs.down(shard, s.clock.NowSec()) {
+			// Hard outage: the reset costs a header round-trip.
+			cost := s.link.DownloadTime(s.clock.NowSec(), 0)
+			if err := s.advanceCost(ctx, cost); err != nil {
+				fs.brks[shard].Failure(s.clock.Now())
+				return 0, err
+			}
+			fs.brks[shard].Failure(s.clock.Now())
+			lastErr = errConnReset
+			continue
+		}
+		cost, ferr := s.plan(s.draw(k, ti, l), bits)
+		if ferr == nil {
+			cost = s.maybeHedge(order, oi, cost, bits)
+		}
+		if err := s.advanceCost(ctx, cost); err != nil {
+			fs.brks[shard].Failure(s.clock.Now())
+			return 0, err
+		}
+		if ferr != nil {
+			fs.brks[shard].Failure(s.clock.Now())
+			lastErr = ferr
+			continue
+		}
+		fs.brks[shard].Success(s.clock.Now())
+		if tried > 1 {
+			fs.failovers++
+		}
+		return bits, nil
 	}
-	return bits, nil
+	if lastErr == nil {
+		// Every breaker was open (or the budget dried up before any
+		// attempt landed): surface as a reset for the client ladder.
+		lastErr = errConnReset
+	}
+	return 0, lastErr
+}
+
+// maybeHedge models a fixed-delay hedged transfer analytically: when
+// the primary's planned transfer outlasts the hedge delay and a live
+// backup shard plus budget exist, the backup's transfer (starting at
+// now+delay over the same access link) races it and the faster time
+// wins. The loser is cancelled, so it leaves no breaker signal.
+func (s *netem) maybeHedge(order []int, oi int, cost, bits float64) float64 {
+	fs := s.fleet
+	if s.hedgeDelaySec <= 0 || cost <= s.hedgeDelaySec {
+		return cost
+	}
+	backup := -1
+	now := s.clock.Now()
+	for i := oi + 1; i < len(order); i++ {
+		if fs.brks[order[i]].Available(now) && !fs.down(order[i], s.clock.NowSec()) {
+			backup = order[i]
+			break
+		}
+	}
+	if backup < 0 {
+		return cost
+	}
+	if !fs.budget.Spend() {
+		fs.budgetDenied++
+		return cost
+	}
+	fs.hedges++
+	fs.reqs[backup]++
+	s.hit()
+	if hcost := s.hedgeDelaySec + s.link.DownloadTime(s.clock.NowSec()+s.hedgeDelaySec, bits); hcost < cost {
+		fs.hedgeWins++
+		fs.brks[backup].Success(now)
+		return hcost
+	}
+	return cost
 }

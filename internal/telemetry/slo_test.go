@@ -273,7 +273,7 @@ func TestParseSLOs(t *testing.T) {
 		"rebuffer<=x",           // non-numeric bound
 		"rebuffer<=0.05@5m/30s", // slow < fast
 		"rebuffer<=0.05!6/2",    // page < warn
-		"rebuffer=off;pspnr_floor=off;tile_p99=off;edge_hit=off;abort=off", // nothing left
+		"rebuffer=off;pspnr_floor=off;tile_p99=off;edge_hit=off;abort=off;failover_p99=off;breaker_open=off;hedge_rate=off", // nothing left
 	} {
 		if _, err := ParseSLOs(bad); err == nil {
 			t.Errorf("ParseSLOs(%q) accepted, want error", bad)

@@ -49,6 +49,25 @@ func DefaultSLOs() []SLO {
 			Budget:      0.02, WarnBurn: 2, PageBurn: 5,
 			Guards: "§7 resilience claim: sessions never abort on tile faults",
 		},
+		{
+			Name: "failover_p99", Kind: SLOQuantile,
+			Metric:    "pano_fleet_failover_seconds",
+			Threshold: 1.0, Quantile: 0.99, WarnBurn: 1, PageBurn: 2,
+			Guards: "origin-fleet resilience (BENCH_fleet): losing a shard re-answers within one chunk duration",
+		},
+		{
+			Name: "breaker_open", Kind: SLOCeil,
+			Metric:    "pano_fleet_origins_open",
+			Threshold: 1, Budget: 0.25, WarnBurn: 1, PageBurn: 2,
+			Guards: "origin-fleet resilience (BENCH_fleet): at most one shard's breaker open at a time",
+		},
+		{
+			Name: "hedge_rate", Kind: SLORate,
+			Metric:      "pano_client_hedge_issued_total",
+			TotalMetric: "pano_fleet_requests_total",
+			Budget:      0.2, WarnBurn: 2, PageBurn: 5,
+			Guards: "origin-fleet efficiency (BENCH_fleet): hedged duplicates stay a small fraction of fleet traffic",
+		},
 	}
 }
 

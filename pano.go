@@ -26,6 +26,7 @@ import (
 
 	"pano/internal/chaos"
 	"pano/internal/edge"
+	"pano/internal/fleet"
 	"pano/internal/jnd"
 	"pano/internal/manifest"
 	"pano/internal/nettrace"
@@ -165,6 +166,17 @@ type (
 	// SwarmSummary is the deterministic population rollup (QoE
 	// quantiles, rebuffer ratio, concurrency curve, origin load).
 	SwarmSummary = swarm.Summary
+	// FleetConfig tunes a sharded origin fleet (origin URLs, breaker
+	// and probe settings, hedging policy); set EdgeConfig.Origins to
+	// route an edge's cache fills through one.
+	FleetConfig = fleet.Config
+	// Fleet is the sharded origin delivery layer: consistent-hash
+	// placement, health-checked circuit breakers, hedged fetches, and
+	// a token-bucket retry/hedge budget.
+	Fleet = fleet.Fleet
+	// SwarmFleetConfig reshards a swarm run's virtual origin the same
+	// way (ring placement, per-session breakers, outage schedules).
+	SwarmFleetConfig = swarm.FleetConfig
 )
 
 // NewJNDFieldCache returns a content-JND field cache holding at most
