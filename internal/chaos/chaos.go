@@ -19,6 +19,7 @@
 package chaos
 
 import (
+	"fmt"
 	"hash/fnv"
 	"net/http"
 	"strconv"
@@ -94,6 +95,18 @@ type Down struct {
 
 // active reports whether the schedule can ever take the handler down.
 func (d Down) active() bool { return d.Always || d.For > 0 }
+
+// Validate rejects a flapping schedule whose period does not exceed the
+// outage window: with 0 < Every <= For, t % Every always lands inside
+// the window, silently degenerating to a permanent outage. The spec
+// parser enforces this for spec strings; callers constructing Down
+// values programmatically should validate here.
+func (d Down) Validate() error {
+	if d.Every > 0 && d.Every <= d.For {
+		return fmt.Errorf("chaos: down period %s must exceed the window %s", d.Every, d.For)
+	}
+	return nil
+}
 
 // At reports whether the handler is down at elapsed time t.
 func (d Down) At(t time.Duration) bool {

@@ -383,3 +383,22 @@ func TestParseErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestDownValidate(t *testing.T) {
+	cases := []struct {
+		d  Down
+		ok bool
+	}{
+		{Down{}, true},
+		{Down{Always: true}, true},
+		{Down{For: 10 * time.Second}, true}, // one-shot
+		{Down{For: 10 * time.Second, Every: 30 * time.Second}, true}, // flapping
+		{Down{For: 10 * time.Second, Every: 10 * time.Second}, false},
+		{Down{For: 10 * time.Second, Every: 5 * time.Second}, false}, // degenerates to permanent
+	}
+	for i, c := range cases {
+		if err := c.d.Validate(); (err == nil) != c.ok {
+			t.Errorf("case %d: Validate(%+v) = %v, want ok=%v", i, c.d, err, c.ok)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"pano/internal/client"
 	"pano/internal/fleet"
 	"pano/internal/obs"
+	"pano/internal/server"
 	"pano/internal/viewport"
 )
 
@@ -233,4 +234,75 @@ func TestEdgeFleetFailoverZeroAborts(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 	t.Errorf("shard 0's breaker never closed after recovery: %+v", e.Fleet().Snapshot())
+}
+
+// TestCancelledFillDoesNotPoisonCache: the singleflight leader's client
+// going away mid-fill is routine in tile streaming (abandoned
+// prefetches, seeks), not an origin-outage signal — it must not
+// negative-cache a 502 that every later client would then be served for
+// NegTTL.
+func TestCancelledFillDoesNotPoisonCache(t *testing.T) {
+	m, _ := fixture(t)
+	srv, err := server.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While hold is set, the origin pins the in-flight request until the
+	// edge aborts it — guaranteeing the fill observes the cancellation
+	// rather than racing it against a successful response.
+	var hold atomic.Bool
+	arrived := make(chan struct{}, 1)
+	ots := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hold.Load() {
+			select {
+			case arrived <- struct{}{}:
+			default:
+			}
+			<-r.Context().Done()
+			panic(http.ErrAbortHandler)
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	defer ots.Close()
+	_, ets, reg := newEdge(t, ots.URL, nil)
+	const path = "/video/0/1/0.bin"
+	hold.Store(true)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ets.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	<-arrived // the fill is in flight at the origin...
+	cancel()  // ...and its only client disconnects
+	if err := <-done; err == nil {
+		t.Fatal("cancelled request unexpectedly completed")
+	}
+	// The leader's handler answers 502 only after the negative-cache
+	// decision has been made; wait for it so the assertion below can't
+	// run before the fill settles.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.CounterValue("pano_edge_requests_total",
+		obs.L("endpoint", "tile"), obs.L("code", "502")) == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	hold.Store(false) // the origin was healthy all along
+
+	// The next client must get the real object — if the cancelled fill
+	// negative-cached, the 502 would stick for the full NegTTL (1m).
+	code, _, _ := get(t, ets.URL+path)
+	if code != http.StatusOK {
+		t.Fatalf("path answers %d after a cancelled fill: cache poisoned", code)
+	}
+	if got := reg.CounterValue("pano_edge_outage_negatives_total"); got != 0 {
+		t.Errorf("outage_negatives = %v, want 0 for a client-cancelled fill", got)
+	}
 }

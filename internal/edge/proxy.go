@@ -441,11 +441,13 @@ func (e *Edge) fill(ctx context.Context, path, endpoint string, stale *Entry, st
 					"stale-entry revalidations against the origin by outcome",
 					obs.L("result", "error")).Inc()
 			}
-			if stale == nil {
+			if stale == nil && fctx.Err() == nil {
 				// Total-outage ladder, last rung: with nothing to serve
 				// stale, negative-cache the failure for NegTTL so a dead
 				// fleet answers from cache instead of absorbing a fetch
-				// per request.
+				// per request. A cancelled fill (the singleflight leader's
+				// client went away mid-fetch) is not an origin-outage
+				// signal, so it must not poison the path for NegTTL.
 				e.cache.Put(&Entry{
 					Key: path, Status: http.StatusBadGateway,
 					Body:        []byte("edge: origin unreachable\n"),

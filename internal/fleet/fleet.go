@@ -262,6 +262,13 @@ func (f *Fleet) Fetch(ctx context.Context, path, etag string) (client.RawResult,
 			// dry bucket ends the ladder instead of piling load onto a
 			// struggling fleet.
 			if tried > 0 && !f.budget.Spend() {
+				if probe {
+					// The half-open probe slot was consumed by Allow but
+					// no request will resolve it; give it back or the
+					// breaker stays wedged half-open (permanently so in
+					// passive-only mode, where no active prober runs).
+					o.brk.ReleaseProbe()
+				}
 				f.budgetExhausted.IncExemplar(span.TraceHex())
 				span.SetError("budget_exhausted")
 				return client.RawResult{}, fmt.Errorf("fleet: %s: retry budget exhausted after %d attempts: %w", path, tried, lastErr)

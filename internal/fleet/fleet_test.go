@@ -488,3 +488,47 @@ func TestPickAvoidsOpenBreakers(t *testing.T) {
 		t.Errorf("Pick = %s after owner breaker opened, want successor %s", got, ts1.URL)
 	}
 }
+
+// TestBudgetExhaustionReleasesProbe: when a ladder rung lands on a
+// half-open breaker (Allow consumes the single probe slot) and the
+// retry budget is dry, Fetch must hand the slot back. In passive-only
+// mode (ProbeInterval 0) nothing else ever resets probing, so a leaked
+// slot would exclude the origin from Pick/Fetch permanently.
+func TestBudgetExhaustionReleasesProbe(t *testing.T) {
+	ts0, _, down0 := newOriginServer(t)
+	ts1, _, _ := newOriginServer(t)
+	cfg := testConfig(t, []string{ts0.URL, ts1.URL})
+	cfg.Fetch.HedgeBudgetRatio = 0.001
+	cfg.Fetch.HedgeBudgetBurst = 1
+	cfg.Breaker = BreakerConfig{FailureThreshold: 1, OpenFor: time.Millisecond}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// A path owned by origin 0, so the ladder reaches origin 1 with
+	// tried > 0 (the rung that consults the budget).
+	var path string
+	for i := 0; ; i++ {
+		path = fmt.Sprintf("/video/%d/0/1.bin", i)
+		if f.ring.Order(f.ring.Key(path))[0] == 0 {
+			break
+		}
+	}
+	down0.Store(true)             // first rung fails, spending no budget
+	f.ors[1].brk.Failure(f.now()) // threshold 1: origin 1 opens
+	for f.budget.Spend() {        // drain the bucket
+	}
+	time.Sleep(5 * time.Millisecond) // past the (jittered <= 1.25x) OpenFor
+
+	if _, err := f.Fetch(context.Background(), path, ""); err == nil {
+		t.Fatal("fetch succeeded with origin 0 down and a dry budget")
+	}
+	if got := cfg.Obs.CounterValue("pano_fleet_budget_exhausted_total"); got == 0 {
+		t.Fatal("budget never reported exhaustion — scenario did not reach the denied rung")
+	}
+	if !f.ors[1].brk.Available(f.now()) {
+		t.Fatal("budget-exhausted ladder leaked origin 1's half-open probe slot")
+	}
+}

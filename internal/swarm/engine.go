@@ -143,6 +143,11 @@ func (c *Config) fillDefaults() error {
 			return fmt.Errorf("swarm: Config.Fleet.Outages has %d entries for %d origins",
 				len(c.Fleet.Outages), c.Fleet.Origins)
 		}
+		for i, d := range c.Fleet.Outages {
+			if err := d.Validate(); err != nil {
+				return fmt.Errorf("swarm: Config.Fleet.Outages[%d]: %w", i, err)
+			}
+		}
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"pano/internal/chaos"
 	"pano/internal/codec"
 	"pano/internal/fleet"
+	"pano/internal/nettrace"
 	"pano/internal/obs"
 )
 
@@ -144,11 +145,62 @@ func TestFleetConfigValidation(t *testing.T) {
 	for i, mod := range []func(*Config){
 		func(c *Config) { c.Fleet = &FleetConfig{Origins: 0} },
 		func(c *Config) { c.Fleet = &FleetConfig{Origins: 1, Outages: make([]chaos.Down, 2)} },
+		func(c *Config) {
+			// A flapping period <= the window degenerates to a permanent
+			// outage; reject it like the spec parser would.
+			c.Fleet = &FleetConfig{Origins: 2,
+				Outages: []chaos.Down{{For: 10 * time.Second, Every: 5 * time.Second}}}
+		},
 	} {
 		cfg := baseConfig(f)
 		mod(&cfg)
 		if _, err := Run(context.Background(), cfg); err == nil {
 			t.Errorf("case %d: no error", i)
 		}
+	}
+}
+
+// TestFleetBudgetDryReleasesProbe: a dry retry budget ends the ladder
+// on a shard whose half-open probe slot Allow just consumed; the slot
+// must be handed back. Per-session swarm breakers have no active
+// prober, so a leaked slot would silently remove the shard for the
+// rest of the session and skew failover/QoE results.
+func TestFleetBudgetDryReleasesProbe(t *testing.T) {
+	f := fixture(t)
+	m := f.pano
+	fc := &FleetConfig{
+		Origins: 2,
+		Breaker: fleet.BreakerConfig{FailureThreshold: 1, OpenFor: time.Second},
+	}
+	place := newPlacement(m, fc)
+	order := place.tileOrder(0, 0, 0)
+	// The object's owner shard is hard-down: the first rung fails
+	// without consuming budget, so the ladder consults the budget at
+	// the successor.
+	outages := make([]chaos.Down, fc.Origins)
+	outages[order[0]] = chaos.Down{Always: true}
+	fc.Outages = outages
+
+	flat := &nettrace.Trace{Mbps: make([]float64, 60)}
+	for i := range flat.Mbps {
+		flat.Mbps[i] = 10
+	}
+	clk := NewVirtualClock(0)
+	s := newNetem(m, clk, &nettrace.Link{Trace: flat}, chaos.Rule{}, 1, 1e4, map[int32]int64{})
+	s.fleet = newFleetSim(fc, place, 1, 0.001, 1)
+
+	s.fleet.brks[order[1]].Failure(clk.Now()) // threshold 1: successor opens
+	for s.fleet.budget.Spend() {              // drain the bucket
+	}
+	clk.AdvanceSec(2) // past the jittered OpenFor: the next Allow is the probe
+
+	if _, err := s.fleetTile(context.Background(), 0, 0, 0, m.Chunks[0].Tiles[0].Bits[0]); err == nil {
+		t.Fatal("fleetTile succeeded with its owner shard down and a dry budget")
+	}
+	if s.fleet.budgetDenied == 0 {
+		t.Fatal("budget never reported dry — scenario did not reach the denied rung")
+	}
+	if !s.fleet.brks[order[1]].Available(clk.Now()) {
+		t.Fatal("budget-denied ladder leaked the shard's half-open probe slot")
 	}
 }

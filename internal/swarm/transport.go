@@ -192,11 +192,17 @@ func (s *netem) fleetTile(ctx context.Context, k, ti int, l codec.Level, bits fl
 	tried := 0
 	var lastErr error
 	for oi, shard := range order {
-		allowed, _ := fs.brks[shard].Allow(s.clock.Now())
+		allowed, probe := fs.brks[shard].Allow(s.clock.Now())
 		if !allowed {
 			continue
 		}
 		if tried > 0 && !fs.budget.Spend() {
+			if probe {
+				// No request will resolve the half-open slot Allow just
+				// consumed; swarm breakers have no active prober, so a
+				// leaked slot would wedge the shard out for the session.
+				fs.brks[shard].ReleaseProbe()
+			}
 			fs.budgetDenied++
 			break
 		}
