@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmt race race-kernels chaos trace edge dash swarm fleet benchdiff bench microbench clean
+.PHONY: build test check vet fmt race race-kernels chaos trace edge dash swarm fleet cluster benchdiff bench microbench clean
 
 build:
 	$(GO) build ./...
@@ -97,13 +97,29 @@ fleet:
 		-ignore live_reqs,breaker_open_ms,wall_sec \
 		baseline/BENCH_fleet.json BENCH_fleet.json
 
+# The cluster observability plane: the /metrics text parser (incl. the
+# checked-in real-exposition fuzz corpus), federation scraper, and
+# cross-process trace assembly suites under the race detector, then the
+# cluster experiment — five live processes scraped by an obsd plane, an
+# origin killed and revived, fleet-wide SLOs paging on the merged
+# series, and the rollup proven bit-exact against per-process sums
+# (lands in BENCH_cluster.json) gated against the committed baseline.
+# The info column carries wall-clock detail (page steps, span counts),
+# so the gate ignores it.
+cluster:
+	$(GO) test -race ./internal/obs ./internal/telemetry ./internal/trace -count 1
+	$(GO) run ./cmd/pano-bench -scale quick cluster
+	$(GO) run ./cmd/pano-benchdiff -threshold 0.10 \
+		-ignore info \
+		baseline/BENCH_cluster.json BENCH_cluster.json
+
 # Compare two benchmark runs: files or directories of BENCH_*.json.
 # Usage: make benchdiff OLD=baseline/ NEW=. [THRESHOLD=0.10]
 THRESHOLD ?= 0.10
 benchdiff:
 	$(GO) run ./cmd/pano-benchdiff -threshold $(THRESHOLD) $(OLD) $(NEW)
 
-check: vet fmt race race-kernels chaos trace edge dash swarm fleet
+check: vet fmt race race-kernels chaos trace edge dash swarm fleet cluster
 
 # Quick-scale paper evaluation; writes BENCH_<id>.json files.
 bench: build microbench
@@ -118,5 +134,5 @@ microbench:
 		./internal/jnd ./internal/quality ./internal/tiling | tee -a BENCH_micro.txt
 
 clean:
-	rm -f BENCH_*.json BENCH_micro.txt trace.perfetto.json
+	rm -f BENCH_*.json BENCH_micro.txt trace.perfetto.json cluster.perfetto.json
 	rm -rf fig14-out

@@ -27,14 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/exec"
 	"path/filepath"
 	"runtime"
-	"runtime/debug"
-	"strings"
 	"time"
 
 	"pano/internal/experiments"
+	"pano/internal/obs"
 )
 
 // benchRecord is the schema of a BENCH_<id>.json file. Commit,
@@ -53,36 +51,9 @@ type benchRecord struct {
 	Time      string     `json:"time"`
 }
 
-// commitHash resolves the building commit: the binary's embedded VCS
-// stamp when present (go build from a clean checkout), else git in the
-// working directory (go run, tests), else "unknown".
-func commitHash() string {
-	if bi, ok := debug.ReadBuildInfo(); ok {
-		var rev, dirty string
-		for _, s := range bi.Settings {
-			switch s.Key {
-			case "vcs.revision":
-				rev = s.Value
-			case "vcs.modified":
-				if s.Value == "true" {
-					dirty = "-dirty"
-				}
-			}
-		}
-		if rev != "" {
-			if len(rev) > 12 {
-				rev = rev[:12]
-			}
-			return rev + dirty
-		}
-	}
-	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
-		if rev := strings.TrimSpace(string(out)); rev != "" {
-			return rev
-		}
-	}
-	return "unknown"
-}
+// commitHash resolves the building commit; shared with the
+// pano_build_info gauge every binary exports.
+func commitHash() string { return obs.BuildCommit() }
 
 func main() {
 	scale := flag.String("scale", "quick", "dataset scale: quick or paper")

@@ -113,6 +113,7 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	obs.ExportBuildInfo(reg)
 	var evlog *obs.EventLog
 	if *logRequests {
 		evlog = obs.NewEventLog(os.Stderr, 0)

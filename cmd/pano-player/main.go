@@ -76,6 +76,7 @@ func main() {
 	tr := viewport.Synthesize(proxy, *traceSeed, viewport.DefaultSynthesizeOpts())
 
 	reg := obs.NewRegistry()
+	obs.ExportBuildInfo(reg)
 	var evlog *obs.EventLog
 	if *events {
 		evlog = obs.NewEventLog(os.Stderr, 0)

@@ -88,6 +88,7 @@ func main() {
 		}
 	}
 	reg := obs.NewRegistry()
+	obs.ExportBuildInfo(reg)
 	opts := []server.Option{server.WithObs(reg)}
 	// One shared event log: server requests, chaos injections, and span
 	// records all land in the same stderr stream and the same

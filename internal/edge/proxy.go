@@ -223,7 +223,13 @@ func (e *Edge) Handler() http.Handler {
 		e.proxy("tile", w, r)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !obs.AllowGetHead(w, r) {
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if r.Method == http.MethodHead {
+			return
+		}
 		io.WriteString(w, "ok\n")
 	})
 	if e.reg != nil {
@@ -245,7 +251,13 @@ func (e *Edge) Handler() http.Handler {
 func (e *Edge) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// Same JSON shape as the origin's /debug/events; small enough to
 	// inline rather than export from internal/server.
+	if !obs.AllowGetHead(w, r) {
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	if r.Method == http.MethodHead {
+		return
+	}
 	evs := e.log.Events()
 	var b strings.Builder
 	b.WriteString("[")

@@ -47,6 +47,7 @@ var registry = map[string]Runner{
 	"swarm":     tableOnly3(SwarmBench),
 	"fleet":     tableOnly3(FleetBench),
 	"telemetry": tableOnly3(TelemetryBench),
+	"cluster":   tableOnly3(ClusterBench),
 	"tab2": func(d *Dataset) (*Table, error) {
 		return Table2(d), nil
 	},

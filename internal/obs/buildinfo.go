@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// BuildCommit resolves the commit that built the binary: the embedded
+// VCS stamp when present (go build from a clean checkout), else git in
+// the working directory (go run, tests), else "unknown". The same
+// provenance stamps BENCH_*.json files (cmd/pano-bench) and the
+// pano_build_info gauge every binary exports.
+func BuildCommit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + dirty
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	return "unknown"
+}
+
+// ExportBuildInfo sets the pano_build_info gauge to 1, labelled with
+// the building commit and Go version. Every binary calls it right after
+// creating its registry, so a federated dashboard can spot version skew
+// across edges and origins (the cluster rollup sums the gauge per
+// {commit, go_version} pair — the count of instances on each build).
+// Nil-safe.
+func ExportBuildInfo(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.Gauge("pano_build_info",
+		"build provenance: constant 1 per process, labelled with the building commit and Go version",
+		L("commit", BuildCommit()), L("go_version", runtime.Version())).Set(1)
+}

@@ -97,6 +97,30 @@
 //	    §7's resilience claim that sessions degrade but never abort;
 //	    terminal error statuses are budgeted at 2% of sessions.
 //
+// The federation layer (internal/telemetry's Scraper, served by
+// cmd/pano-obsd) merges many processes' expositions — parsed back into
+// snapshot series by ParsePrometheus — into one cluster view, and
+// describes its own health in the same format:
+//
+//	pano_build_info{commit,go_version}
+//	    constant 1 per process, stamped with the building commit (the
+//	    same resolution as the BENCH_*.json provenance fields) — count
+//	    the distinct commit labels across instances to spot a
+//	    mixed-build fleet.
+//	pano_federation_target_up{instance}
+//	    1 while the target's last scrape succeeded, 0 once it fails; a
+//	    down target's series freeze at their last-good values in the
+//	    rollup instead of vanishing, so cluster rates dip only when the
+//	    work stopped, not when the scrape did.
+//	pano_federation_scrapes_total / pano_federation_scrape_errors_total
+//	    per-instance scrape attempts and failures.
+//	pano_federation_targets / pano_federation_stale_targets
+//	    configured targets and how many are currently frozen.
+//	pano_federation_unmergeable_families
+//	    histogram families excluded from the cluster rollup because
+//	    instances disagree on bucket layout (their per-instance series
+//	    remain).
+//
 // Event-ring overflow is itself observable: EventLog.ObserveDrops
 // mirrors the ring's drop count as pano_events_dropped_total, and the
 // telemetry sampler mirrors the tracer's bounded-store rejections as
@@ -112,5 +136,6 @@
 // Wiring: internal/server mounts /metrics, /debug/events, and
 // /debug/traces; internal/client.Stream, internal/sim.Run,
 // internal/abr, and internal/player accept a *Registry (nil = off);
-// cmd/pano-server adds optional net/http/pprof.
+// cmd/pano-server adds optional net/http/pprof; cmd/pano-obsd
+// federates every process's /metrics into the cluster view above.
 package obs

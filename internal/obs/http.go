@@ -1,0 +1,18 @@
+package obs
+
+import "net/http"
+
+// AllowGetHead rejects every method but GET and HEAD with 405 (plus an
+// Allow header), reporting whether the request may proceed. All pano
+// metrics/debug endpoints — /metrics, /debug/slo, /debug/dash,
+// /debug/traces, /debug/events, /healthz — share it across binaries so
+// method handling stays uniform; handlers that pass must still skip
+// their body write on HEAD.
+func AllowGetHead(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	w.Header().Set("Allow", "GET, HEAD")
+	http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	return false
+}

@@ -547,8 +547,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // at /metrics. A nil registry serves 503.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		if req.Method != http.MethodGet && req.Method != http.MethodHead {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		if !AllowGetHead(w, req) {
 			return
 		}
 		if r == nil {
@@ -579,7 +578,10 @@ func sortedLabels(labels []Label) []Label {
 	return out
 }
 
-// labelKey renders a canonical map key for a label set.
+// labelKey renders a canonical map key for a label set. The '=' and
+// ';' delimiters (and the escape character itself) are backslash-escaped
+// inside keys and values, so label content can never collide with the
+// encoding: {a="x;b=y"} and {a="x", b="y"} stay distinct series.
 func labelKey(labels []Label) string {
 	if len(labels) == 0 {
 		return ""
@@ -587,13 +589,31 @@ func labelKey(labels []Label) string {
 	ls := sortedLabels(labels)
 	var b strings.Builder
 	for _, l := range ls {
-		b.WriteString(l.Key)
+		keyEscape(&b, l.Key)
 		b.WriteByte('=')
-		b.WriteString(l.Value)
+		keyEscape(&b, l.Value)
 		b.WriteByte(';')
 	}
 	return b.String()
 }
+
+func keyEscape(b *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\', '=', ';':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// SeriesKey renders the canonical series key for a label set — the same
+// identity Snapshot reports in SnapshotSeries.Key. Exported so layers
+// that synthesize SnapshotSeries outside a registry (the telemetry
+// federation rollup) key them consistently.
+func SeriesKey(labels ...Label) string { return labelKey(labels) }
 
 // renderLabels renders {k="v",...} with values escaped; extra, when
 // non-nil, is appended after the series labels (used for histogram le).

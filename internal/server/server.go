@@ -264,13 +264,10 @@ func (s *Server) writeError(endpoint string, err error) {
 
 // allowGetHead rejects everything but GET and HEAD with 405 (every
 // endpoint, uniformly) and reports whether the request may proceed.
+// Delegates to the shared obs helper so every binary's endpoints
+// answer methods identically.
 func allowGetHead(w http.ResponseWriter, r *http.Request) bool {
-	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		w.Header().Set("Allow", "GET, HEAD")
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return false
-	}
-	return true
+	return obs.AllowGetHead(w, r)
 }
 
 func (s *Server) handleMPD(w http.ResponseWriter, r *http.Request) {

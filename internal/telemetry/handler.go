@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"pano/internal/obs"
 )
 
 // DashSeries is one sparkline on the dashboard: a family's recent
@@ -54,11 +56,31 @@ func (s *Sampler) dashSnapshot(now time.Time) DashSnapshot {
 				}
 			}
 		}
-		if strings.HasPrefix(name, "pano_telemetry_") {
-			continue // self-metrics would dominate the board
+	}
+	snap.Series = storePanels(s.store, now, s.cfg.Interval*dashPoints, func(name string) bool {
+		return strings.HasPrefix(name, "pano_telemetry_") // self-metrics would dominate the board
+	})
+	if s.cfg.DashExtra != nil {
+		snap.Series = append(snap.Series, s.cfg.DashExtra(now)...)
+	}
+	sort.SliceStable(snap.Series, func(i, j int) bool { return snap.Series[i].Name < snap.Series[j].Name })
+	return snap
+}
+
+// storePanels renders a windowed store's families as dashboard panels:
+// gauges as raw sparklines, counters as per-interval rate deltas,
+// histograms as a p99 estimate over histWindow. Families for which skip
+// returns true are omitted; per-family fan-out is capped at
+// dashMaxPerFamily. Shared by the per-process dashboard (dashSnapshot)
+// and pano-obsd's per-instance federation panels.
+func storePanels(st *Store, now time.Time, histWindow time.Duration, skip func(name string) bool) []DashSeries {
+	var out []DashSeries
+	for _, name := range st.Names() {
+		if skip != nil && skip(name) {
+			continue
 		}
 		n := 0
-		for _, sr := range s.store.Family(name) {
+		for _, sr := range st.Family(name) {
 			if n >= dashMaxPerFamily {
 				break
 			}
@@ -93,16 +115,15 @@ func (s *Sampler) dashSnapshot(now time.Time) DashSnapshot {
 				continue
 			}
 			ds.Last = ds.Points[len(ds.Points)-1]
-			snap.Series = append(snap.Series, ds)
+			out = append(out, ds)
 			n++
 		}
-		for _, h := range s.store.HistFamily(name) {
+		for _, h := range st.HistFamily(name) {
 			if n >= dashMaxPerFamily {
 				break
 			}
-			since := now.Add(-s.cfg.Interval * dashPoints)
-			if q, ok := h.QuantileSince(0.99, since); ok {
-				snap.Series = append(snap.Series, DashSeries{
+			if q, ok := h.QuantileSince(0.99, now.Add(-histWindow)); ok {
+				out = append(out, DashSeries{
 					Name: name, Labels: labelStringH(h), Kind: "p99",
 					Points: []float64{q}, Last: q,
 				})
@@ -110,8 +131,7 @@ func (s *Sampler) dashSnapshot(now time.Time) DashSnapshot {
 			}
 		}
 	}
-	sort.SliceStable(snap.Series, func(i, j int) bool { return snap.Series[i].Name < snap.Series[j].Name })
-	return snap
+	return out
 }
 
 func labelString(s *Series) string {
@@ -138,9 +158,7 @@ func (s *Sampler) SLOHandler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		if r.Method != http.MethodGet && r.Method != http.MethodHead {
-			w.Header().Set("Allow", "GET, HEAD")
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		if !obs.AllowGetHead(w, r) {
 			return
 		}
 		states := s.States()
@@ -156,6 +174,9 @@ func (s *Sampler) SLOHandler() http.Handler {
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")
+		if r.Method == http.MethodHead {
+			return
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(struct {
@@ -174,9 +195,11 @@ func (s *Sampler) DashHandler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		if r.Method != http.MethodGet && r.Method != http.MethodHead {
-			w.Header().Set("Allow", "GET, HEAD")
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		if !obs.AllowGetHead(w, r) {
+			return
+		}
+		if r.Method == http.MethodHead {
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
 			return
 		}
 		if r.URL.Query().Get("stream") == "1" {

@@ -51,6 +51,18 @@ type Config struct {
 	// NoRuntime disables Go runtime health sampling (heap, GC pauses,
 	// goroutines, scheduler latency).
 	NoRuntime bool
+	// Source, when set, replaces the Obs.Snapshot() scrape as the series
+	// fed into the windowed store each tick — this is how pano-obsd
+	// points the stock SLO engine at federated cluster rollups instead
+	// of its own process registry. It is called outside the sampler's
+	// lock (it may do network I/O, as the federation scraper does), once
+	// per tick, with the tick's logical time. Obs is still required: it
+	// remains the sink for telemetry's own signals.
+	Source func(now time.Time) []obs.SnapshotSeries
+	// DashExtra, when set, contributes additional dashboard panels each
+	// frame (pano-obsd adds per-instance series alongside the rollup
+	// panels the store provides). Called without the sampler lock held.
+	DashExtra func(now time.Time) []DashSeries
 }
 
 // Sampler periodically scrapes a registry into the windowed store and
@@ -170,6 +182,12 @@ func (s *Sampler) Step(now time.Time) {
 		return
 	}
 	t0 := time.Now()
+	var snap []obs.SnapshotSeries
+	if s.cfg.Source != nil {
+		// External source (federation): collect before taking the lock —
+		// it may block on the network, and readers must stay responsive.
+		snap = s.cfg.Source(now)
+	}
 	s.mu.Lock()
 	if s.rt != nil {
 		s.rt.sample()
@@ -177,7 +195,9 @@ func (s *Sampler) Step(now time.Time) {
 	if s.traceDrops != nil {
 		s.traceDrops.Set(float64(s.cfg.Tracer.DroppedSpans()))
 	}
-	snap := s.cfg.Obs.Snapshot()
+	if s.cfg.Source == nil {
+		snap = s.cfg.Obs.Snapshot()
+	}
 	s.store.Observe(now, snap)
 	s.seriesLen.Set(float64(s.store.Len()))
 

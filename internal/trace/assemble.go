@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// ParseChromeTrace parses Chrome trace-event JSON of the dialect
+// WriteChromeTrace emits back into TraceData — the inverse of a
+// /debug/traces export, and the ingestion half of cross-process trace
+// assembly. Only "X" complete events carrying trace_id and span_id
+// args become spans (metadata events shape the rendering, not the
+// model); remaining args are kept as attributes, sorted by key so
+// assembly output is deterministic regardless of JSON map order.
+// Traces come back in first-appearance order with spans in event
+// order.
+func ParseChromeTrace(data []byte) ([]*TraceData, error) {
+	var ct struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &ct); err != nil {
+		return nil, fmt.Errorf("trace: parse chrome JSON: %w", err)
+	}
+	byID := map[TraceID]*TraceData{}
+	var order []TraceID
+	for i, ev := range ct.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		tidHex, ok1 := ev.Args["trace_id"].(string)
+		sidHex, ok2 := ev.Args["span_id"].(string)
+		if !ok1 || !ok2 {
+			continue // not one of our span events
+		}
+		var tid TraceID
+		var sid SpanID
+		if n, err := hex.Decode(tid[:], []byte(tidHex)); err != nil || n != len(tid) {
+			return nil, fmt.Errorf("trace: event %d (%s): bad trace_id %q", i, ev.Name, tidHex)
+		}
+		if n, err := hex.Decode(sid[:], []byte(sidHex)); err != nil || n != len(sid) {
+			return nil, fmt.Errorf("trace: event %d (%s): bad span_id %q", i, ev.Name, sidHex)
+		}
+		sd := SpanData{
+			Trace: tid,
+			ID:    sid,
+			Name:  ev.Name,
+			Start: time.Unix(0, int64(ev.Ts*1e3)),
+			Dur:   time.Duration(ev.Dur * 1e3),
+		}
+		if pHex, ok := ev.Args["parent_id"].(string); ok {
+			var pid SpanID
+			if n, err := hex.Decode(pid[:], []byte(pHex)); err != nil || n != len(pid) {
+				return nil, fmt.Errorf("trace: event %d (%s): bad parent_id %q", i, ev.Name, pHex)
+			}
+			sd.Parent = pid
+		}
+		if ec, ok := ev.Args["error_class"].(string); ok {
+			sd.Err = ec
+		}
+		keys := make([]string, 0, len(ev.Args))
+		for k := range ev.Args {
+			switch k {
+			case "trace_id", "span_id", "parent_id", "error_class":
+			default:
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sd.Attrs = append(sd.Attrs, Attr{Key: k, Value: ev.Args[k]})
+		}
+		td := byID[tid]
+		if td == nil {
+			td = &TraceData{ID: tid, Complete: true}
+			byID[tid] = td
+			order = append(order, tid)
+		}
+		td.Spans = append(td.Spans, sd)
+	}
+	out := make([]*TraceData, len(order))
+	for i, id := range order {
+		out[i] = byID[id]
+	}
+	return out, nil
+}
+
+// ProcessTraces is one process's contribution to cluster assembly: the
+// traces scraped from its /debug/traces endpoint, tagged with the
+// instance name they came from.
+type ProcessTraces struct {
+	Process string
+	Traces  []*TraceData
+}
+
+// AssembleTraces joins per-process trace fragments on trace ID into
+// whole cross-process traces: the client's root span, the edge's fill,
+// the fleet fetch attempts, and the origin handler all land in one
+// TraceData. Each span is tagged with a "process" attribute naming the
+// instance that recorded it; spans seen from several scrapes dedupe by
+// span ID (first wins). Traces are returned sorted by ID and spans by
+// start time, so assembly of the same fragments is byte-stable.
+func AssembleTraces(procs []ProcessTraces) []*TraceData {
+	byID := map[TraceID]*TraceData{}
+	seen := map[TraceID]map[SpanID]bool{}
+	for _, p := range procs {
+		for _, td := range p.Traces {
+			if td == nil {
+				continue
+			}
+			out := byID[td.ID]
+			if out == nil {
+				out = &TraceData{ID: td.ID, Complete: true}
+				byID[td.ID] = out
+				seen[td.ID] = map[SpanID]bool{}
+			}
+			for _, sd := range td.Spans {
+				if seen[td.ID][sd.ID] {
+					continue
+				}
+				seen[td.ID][sd.ID] = true
+				sd.Attrs = append(append([]Attr(nil), sd.Attrs...), Attr{Key: "process", Value: p.Process})
+				out.Spans = append(out.Spans, sd)
+			}
+		}
+	}
+	out := make([]*TraceData, 0, len(byID))
+	for _, td := range byID {
+		sort.SliceStable(td.Spans, func(i, j int) bool { return td.Spans[i].Start.Before(td.Spans[j].Start) })
+		out = append(out, td)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.String() < out[j].ID.String() })
+	return out
+}
+
+// Processes returns the distinct "process" attribute values across the
+// trace's spans, in first-appearance order — how many instances
+// contributed to an assembled trace.
+func (t *TraceData) Processes() []string {
+	var out []string
+	seen := map[string]bool{}
+	for i := range t.Spans {
+		p, _ := t.Spans[i].Attr("process").(string)
+		if p != "" && !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// WriteAssembledChromeTrace renders assembled cross-process traces as
+// Chrome trace-event JSON with one thread track per contributing
+// process (named after it), so a single timeline shows the request
+// hopping client→edge→origin. Spans keep their process attribute in
+// args; the output passes ValidateChromeTrace and loads in Perfetto.
+func WriteAssembledChromeTrace(w io.Writer, traces ...*TraceData) error {
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for pi, td := range traces {
+		if td == nil || len(td.Spans) == 0 {
+			continue
+		}
+		pid := pi + 1
+		name := td.ID.String()
+		if r := td.Root(); r != nil {
+			name = r.Name + " " + name
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": name},
+		})
+		tidOf := map[string]int{}
+		spans := append([]SpanData(nil), td.Spans...)
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+		for i := range spans {
+			sd := &spans[i]
+			proc, _ := sd.Attr("process").(string)
+			if proc == "" {
+				proc = "unknown"
+			}
+			tid, ok := tidOf[proc]
+			if !ok {
+				tid = len(tidOf) + 1
+				tidOf[proc] = tid
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+					Args: map[string]any{"name": proc},
+				})
+			}
+			args := map[string]any{
+				"trace_id": sd.Trace.String(),
+				"span_id":  sd.ID.String(),
+			}
+			if !sd.Parent.IsZero() {
+				args["parent_id"] = sd.Parent.String()
+			}
+			if sd.Err != "" {
+				args["error_class"] = sd.Err
+			}
+			for _, a := range sd.Attrs {
+				args[a.Key] = a.Value
+			}
+			cat := "span"
+			if sd.Err != "" {
+				cat = "error"
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: sd.Name, Ph: "X", Cat: cat,
+				Ts:  float64(sd.Start.UnixNano()) / 1e3,
+				Dur: maxf(float64(sd.Dur.Nanoseconds())/1e3, 0.001),
+				Pid: pid, Tid: tid, Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

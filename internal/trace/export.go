@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+
+	"pano/internal/obs"
 )
 
 // Traceparent renders the span as a W3C trace-context traceparent
@@ -219,9 +221,7 @@ func ValidateChromeTrace(data []byte) (int, error) {
 // 405, matching the other debug endpoints.
 func (t *Tracer) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet && r.Method != http.MethodHead {
-			w.Header().Set("Allow", "GET, HEAD")
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		if !obs.AllowGetHead(w, r) {
 			return
 		}
 		if t == nil {
