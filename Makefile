@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmt race race-kernels chaos trace edge dash swarm fleet cluster benchdiff bench microbench clean
+.PHONY: build test check vet fmt race race-kernels chaos trace edge dash swarm fleet cluster live benchdiff bench microbench clean
 
 build:
 	$(GO) build ./...
@@ -113,13 +113,30 @@ cluster:
 		-ignore info \
 		baseline/BENCH_cluster.json BENCH_cluster.json
 
+# The live-streaming subsystem: the content-addressed store (incl. the
+# crash-recovery suite), the JIT pipeline, and the live client/edge
+# behaviour under the race detector, then the live experiment — publish
+# punctuality, graceful degradation under an impossible deadline, the
+# two-origins-one-store byte/ETag proof, and an origin killed mid-feed
+# under real live sessions (lands in BENCH_live.json) gated against the
+# committed baseline. lat_*, pub_ms, and wall_sec measure the machine
+# (the feed clock is compressed), so the gate ignores them.
+live:
+	$(GO) test -race ./internal/store ./internal/live -count 1
+	$(GO) test -race ./internal/client -run Live -count 1
+	$(GO) test -race ./internal/edge -run 'Live|Prefetch' -count 1
+	$(GO) run ./cmd/pano-bench -scale quick live
+	$(GO) run ./cmd/pano-benchdiff -threshold 0.10 \
+		-ignore lat_mean_s,lat_max_s,pub_ms,wall_sec \
+		baseline/BENCH_live.json BENCH_live.json
+
 # Compare two benchmark runs: files or directories of BENCH_*.json.
 # Usage: make benchdiff OLD=baseline/ NEW=. [THRESHOLD=0.10]
 THRESHOLD ?= 0.10
 benchdiff:
 	$(GO) run ./cmd/pano-benchdiff -threshold $(THRESHOLD) $(OLD) $(NEW)
 
-check: vet fmt race race-kernels chaos trace edge dash swarm fleet cluster
+check: vet fmt race race-kernels chaos trace edge dash swarm fleet cluster live
 
 # Quick-scale paper evaluation; writes BENCH_<id>.json files.
 bench: build microbench

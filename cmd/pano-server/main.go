@@ -7,10 +7,19 @@
 //	pano-server [-addr :8360] [-manifest path.json]
 //	pano-server [-addr :8360] [-genre sports] [-seed 1] [-duration 30]
 //	pano-server -chaos "seed=7,tile-error=0.1,tile-latency=20ms"
+//	pano-server -store /var/pano/store            (stateless origin)
+//	pano-server -store /var/pano/store -live      (origin + JIT publisher)
 //
 // With -manifest it serves a preprocessed manifest (e.g. produced by
 // pano-tracegen); otherwise it generates a synthetic video of the given
 // genre and preprocesses it on startup.
+//
+// With -store it serves from a content-addressed tile store directory
+// instead of process memory: any number of pano-server processes can
+// point at the same directory and answer with byte-identical objects
+// and ETags (stateless origins). -live additionally runs the
+// just-in-time live pipeline in-process, publishing the generated video
+// into the store chunk by chunk while serving it.
 //
 // -chaos wraps the handler in the deterministic fault injector of
 // internal/chaos (see chaos.Parse for the spec grammar) to exercise
@@ -19,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,14 +36,17 @@ import (
 	"net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"pano/internal/chaos"
 	"pano/internal/graceful"
+	"pano/internal/live"
 	"pano/internal/manifest"
 	"pano/internal/obs"
 	"pano/internal/provider"
 	"pano/internal/scene"
 	"pano/internal/server"
+	"pano/internal/store"
 	"pano/internal/telemetry"
 	"pano/internal/trace"
 	"pano/internal/viewport"
@@ -50,15 +63,29 @@ func main() {
 	chaosSpec := flag.String("chaos", "", `fault-injection spec, e.g. "seed=7,tile-error=0.1" ("" = off)`)
 	enableTrace := flag.Bool("trace", false, "record handler spans for traced requests (browse at /debug/traces)")
 	sloSpec := flag.String("slo", "", `SLO telemetry spec, e.g. "default" or "rebuffer<=0.02;tile_p99<=0.3" ("" = off; see telemetry.ParseSLOs)`)
+	storeDir := flag.String("store", "", "serve from this content-addressed store directory (stateless origin mode)")
+	liveMode := flag.Bool("live", false, "run the just-in-time live pipeline, publishing the generated video into -store")
+	liveDeadline := flag.Duration("live-deadline", time.Second, "per-chunk publish deadline for -live (0 = untracked)")
+	liveWindow := flag.Int("live-window", 0, "live availability window in chunks (0 = unbounded)")
+	liveInterval := flag.Duration("live-interval", 0, "capture pacing for -live (0 = real time: one chunk duration per chunk)")
 	flag.Parse()
 
 	chaosProfile, err := chaos.Parse(*chaosSpec)
 	if err != nil {
 		log.Fatalf("pano-server: %v", err)
 	}
+	if *liveMode && *storeDir == "" {
+		log.Fatalf("pano-server: -live requires -store")
+	}
+	if *storeDir != "" && *manPath != "" {
+		log.Fatalf("pano-server: -store and -manifest are mutually exclusive")
+	}
 
 	var m *manifest.Video
-	if *manPath != "" {
+	var v *scene.Video
+	var history []*viewport.Trace
+	switch {
+	case *manPath != "":
 		f, err := os.Open(*manPath)
 		if err != nil {
 			log.Fatalf("pano-server: %v", err)
@@ -69,22 +96,28 @@ func main() {
 			log.Fatalf("pano-server: %v", err)
 		}
 		m = m2
-	} else {
+	case *storeDir != "" && !*liveMode:
+		// Stateless origin: the manifest lives in the store's catalog.
+	default:
 		g, err := parseGenre(*genre)
 		if err != nil {
 			log.Fatalf("pano-server: %v", err)
 		}
 		opts := scene.DefaultOptions()
 		opts.DurationSec = *duration
-		v := scene.Generate(g, *seed, opts)
-		log.Printf("generated %s (%dx%d@%d, %ds); preprocessing...", v.Name, v.W, v.H, v.FPS, v.DurationSec)
-		history := []*viewport.Trace{
+		v = scene.Generate(g, *seed, opts)
+		history = []*viewport.Trace{
 			viewport.Synthesize(v, *seed+1, viewport.DefaultSynthesizeOpts()),
 			viewport.Synthesize(v, *seed+2, viewport.DefaultSynthesizeOpts()),
 		}
-		m, err = provider.Preprocess(v, history, provider.DefaultConfig())
-		if err != nil {
-			log.Fatalf("pano-server: %v", err)
+		if *liveMode {
+			log.Printf("generated %s (%dx%d@%d, %ds); publishing just in time", v.Name, v.W, v.H, v.FPS, v.DurationSec)
+		} else {
+			log.Printf("generated %s (%dx%d@%d, %ds); preprocessing...", v.Name, v.W, v.H, v.FPS, v.DurationSec)
+			m, err = provider.Preprocess(v, history, provider.DefaultConfig())
+			if err != nil {
+				log.Fatalf("pano-server: %v", err)
+			}
 		}
 	}
 	reg := obs.NewRegistry()
@@ -115,9 +148,57 @@ func main() {
 		})
 		opts = append(opts, server.WithTelemetry(sampler))
 	}
-	s, err := server.New(m, opts...)
-	if err != nil {
-		log.Fatalf("pano-server: %v", err)
+	var s *server.Server
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.WithObs(reg), store.WithEventLog(evlog))
+		if err != nil {
+			log.Fatalf("pano-server: %v", err)
+		}
+		if *liveMode {
+			pipe, err := live.New(live.Config{
+				Video: v, History: history,
+				Deadline: *liveDeadline, WindowChunks: *liveWindow,
+				CaptureInterval: *liveInterval,
+				Store:           st, Obs: reg, Log: evlog, Tracer: tracer,
+			})
+			if err != nil {
+				log.Fatalf("pano-server: %v", err)
+			}
+			go func() {
+				rep, err := pipe.Run(context.Background())
+				if err != nil {
+					log.Printf("live feed failed: %v", err)
+					return
+				}
+				log.Printf("live feed done: %d chunks, %d deadline misses (%.1f%% on time), %d degraded",
+					rep.Chunks, rep.DeadlineMisses, 100*rep.OnTimeFrac(), rep.Degraded)
+			}()
+		}
+		// The pipeline publishes its head asynchronously; give a fresh
+		// store a moment to grow a catalog before giving up.
+		var b *store.Backend
+		for i := 0; ; i++ {
+			b, err = store.NewBackend(st)
+			if err == nil || !*liveMode || i >= 100 {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if err != nil {
+			log.Fatalf("pano-server: %v", err)
+		}
+		s, err = server.NewBackend(b, opts...)
+		if err != nil {
+			log.Fatalf("pano-server: %v", err)
+		}
+		man, _, _, _ := b.Manifest()
+		m = man
+		log.Printf("serving store %s (catalog seq %d, %d chunks published)", *storeDir, m.Seq, m.NumChunks())
+	} else {
+		s, err = server.New(m, opts...)
+		if err != nil {
+			log.Fatalf("pano-server: %v", err)
+		}
 	}
 	handler := s.Handler()
 	if chaosProfile.Enabled() {
@@ -149,8 +230,12 @@ func main() {
 		sampler.Start()
 		log.Printf("SLO telemetry enabled (%d objectives; /debug/slo, dashboard at /debug/dash)", len(slos))
 	}
+	tiles0 := 0
+	if len(m.Chunks) > 0 {
+		tiles0 = len(m.Chunks[0].Tiles)
+	}
 	log.Printf("serving %q (%d chunks, %d tiles/chunk) on %s (metrics at /metrics)",
-		m.Name, m.NumChunks(), len(m.Chunks[0].Tiles), *addr)
+		m.Name, m.NumChunks(), tiles0, *addr)
 	// Graceful shutdown: SIGINT/SIGTERM drains in-flight tile responses
 	// (bounded) instead of severing them mid-body; the telemetry sampler
 	// stops after the drain.

@@ -197,6 +197,11 @@ type StreamConfig struct {
 	// budget. Off (the default) keeps the HTTP client's historical
 	// model bit-for-bit.
 	SimModel bool
+	// Live tunes low-latency behaviour against a live manifest
+	// (edge-poll cadence, skip-to-edge policy, dead-feed timeout). It is
+	// ignored for VOD manifests; the zero value selects defaults derived
+	// from the chunk duration.
+	Live LivePolicy
 }
 
 // StreamResult summarizes an HTTP streaming session.
@@ -222,6 +227,21 @@ type StreamResult struct {
 	// set and the session was sampled ("" otherwise) — the key for
 	// /debug/traces?trace=... and histogram exemplars.
 	TraceID string
+	// LiveEdgeWaits counts the times the session caught up with the live
+	// edge and blocked polling the manifest; LiveEdgeWaitSec is the total
+	// time spent blocked there. Zero for VOD sessions.
+	LiveEdgeWaits   int
+	LiveEdgeWaitSec float64
+	// LiveSkippedChunks counts chunks skipped by the live catch-up
+	// policy (fell out of the availability window, or further behind the
+	// edge than LivePolicy.MaxLatencyChunks).
+	LiveSkippedChunks int
+	// LiveLatencyMeanSec / LiveLatencyMaxSec report the client's live
+	// latency — the gap from the published edge back to the playhead
+	// ((edge-k-1)*chunkSec + buffered media) — sampled after each chunk
+	// streamed while the manifest was live.
+	LiveLatencyMeanSec float64
+	LiveLatencyMaxSec  float64
 }
 
 // MOS returns the Table 3 opinion-score band of the session's
@@ -322,7 +342,14 @@ func RunSession(ctx context.Context, tp Transport, tr *viewport.Trace, cfg Strea
 	}
 	stage = "stream"
 	res.Manifest = m
-	sess = sess.With("video", m.Name, "chunks", m.NumChunks(), "tiles", len(m.Chunks[0].Tiles))
+	tiles0 := 0
+	if len(m.Chunks) > 0 {
+		tiles0 = len(m.Chunks[0].Tiles)
+	}
+	sess = sess.With("video", m.Name, "chunks", m.NumChunks(), "tiles", tiles0)
+	if m.Live {
+		sess = sess.With("live", true)
+	}
 
 	// QoE instruments (no-ops when cfg.Obs is nil).
 	chunksTotal := cfg.Obs.Counter("pano_client_chunks_total", "chunks streamed")
@@ -345,13 +372,34 @@ func RunSession(ctx context.Context, tp Transport, tr *viewport.Trace, cfg Strea
 	mpc.Obs = cfg.Obs
 	bw := abr.NewBandwidthPredictor()
 	bw.Obs = cfg.Obs
-	n := m.NumChunks()
-	if cfg.MaxChunks > 0 && cfg.MaxChunks < n {
-		n = cfg.MaxChunks
-	}
+	live := m.Live
+	livePol := cfg.Live.withDefaults(m.ChunkSec)
 	var buffer, estSum float64
+	var liveLatSum float64
+	liveChunks := 0
 	prev := codec.Level(-1)
-	for k := 0; k < n; k++ {
+	streamed := 0
+	for k := m.FirstChunk; ; k++ {
+		if cfg.MaxChunks > 0 && streamed >= cfg.MaxChunks {
+			break
+		}
+		if live {
+			// Never schedule a fetch at or past the live edge: block here
+			// polling the manifest (and let the catch-up policy move k)
+			// until chunk k is published, the feed ends, or it times out.
+			sr, lerr := liveEdgeSync(ctx, tp, clk, m, k, livePol, &buffer, res, cfg.Obs, rebufTotal, sess)
+			if lerr != nil {
+				return nil, lerr
+			}
+			m, k, live = sr.m, sr.k, sr.m.Live
+			res.Manifest = m
+			if sr.ended {
+				break
+			}
+		}
+		if k >= m.NumChunks() {
+			break
+		}
 		cctx, chunkSpan := trace.StartSpan(ctx, "chunk", trace.A("chunk", k))
 		nowMedia := float64(k)*m.ChunkSec - buffer
 		if nowMedia < 0 {
@@ -468,11 +516,11 @@ func RunSession(ctx context.Context, tp Transport, tr *viewport.Trace, cfg Strea
 		res.TotalRetries += retries
 		res.DegradedTiles += degraded
 		res.SkippedTiles += skipped
-		if k == 0 {
+		if streamed == 0 {
 			res.StartupDelay = clk.Since(start)
 		}
 		var stall float64
-		if k > 0 && dl.Seconds() > buffer {
+		if streamed > 0 && dl.Seconds() > buffer {
 			stall = dl.Seconds() - buffer
 			res.RebufferSec += stall
 		}
@@ -507,7 +555,7 @@ func RunSession(ctx context.Context, tp Transport, tr *viewport.Trace, cfg Strea
 			sSpan.End()
 			estPSPNR.Observe(e)
 			estSum += e
-			res.MeanEstPSPNR = estSum / float64(k+1)
+			res.MeanEstPSPNR = estSum / float64(streamed+1)
 			sess.Debug("chunk_done",
 				"chunk", k, "bytes", bytes, "download_sec", dl.Seconds(),
 				"throughput_bps", thr, "stall_sec", stall, "buffer_sec", buffer,
@@ -518,7 +566,24 @@ func RunSession(ctx context.Context, tp Transport, tr *viewport.Trace, cfg Strea
 		chunkSpan.Annotate("stall_sec", stall)
 		chunkSpan.Annotate("buffer_sec", buffer)
 		chunkSpan.Annotate("throughput_bps", thr)
+		if live {
+			// Live latency: fully published chunks between the playhead
+			// and the edge, plus the media already buffered.
+			lat := float64(m.NumChunks()-k-1)*m.ChunkSec + buffer
+			liveLatSum += lat
+			liveChunks++
+			if lat > res.LiveLatencyMaxSec {
+				res.LiveLatencyMaxSec = lat
+			}
+			cfg.Obs.Gauge("pano_client_live_latency_sec",
+				"playhead-to-edge live latency after each chunk").Set(lat)
+			chunkSpan.Annotate("live_latency_sec", lat)
+		}
 		chunkSpan.End()
+		streamed++
+	}
+	if liveChunks > 0 {
+		res.LiveLatencyMeanSec = liveLatSum / float64(liveChunks)
 	}
 	if instrumented {
 		cfg.Obs.Gauge("pano_client_session_pspnr_db",

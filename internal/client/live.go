@@ -1,0 +1,153 @@
+package client
+
+import (
+	"context"
+	"log/slog"
+	"time"
+
+	"pano/internal/manifest"
+	"pano/internal/obs"
+)
+
+// LivePolicy tunes live-edge behaviour; it is only consulted when the
+// manifest announces itself live (manifest.Video.Live). The zero value
+// selects defaults derived from the chunk duration.
+type LivePolicy struct {
+	// PollInterval is the manifest refresh cadence while the session is
+	// blocked at the live edge (default: half a chunk duration, matching
+	// the origin's live manifest max-age).
+	PollInterval time.Duration
+	// MaxLatencyChunks is the live rebuffer policy: when the playhead
+	// falls further than this many chunks behind the edge (a stall, or
+	// rejoining after falling out of the availability window), the
+	// session skips forward to the newest published chunk instead of
+	// draining the backlog (default 4).
+	MaxLatencyChunks int
+	// EdgeTimeout bounds how long the session waits at the edge without
+	// the manifest growing before concluding the feed died; the session
+	// then ends cleanly rather than erroring (default 30 chunk
+	// durations).
+	EdgeTimeout time.Duration
+}
+
+func (p LivePolicy) withDefaults(chunkSec float64) LivePolicy {
+	chunk := time.Duration(chunkSec * float64(time.Second))
+	if p.PollInterval <= 0 {
+		p.PollInterval = chunk / 2
+	}
+	if p.PollInterval <= 0 {
+		p.PollInterval = 100 * time.Millisecond
+	}
+	if p.MaxLatencyChunks <= 0 {
+		p.MaxLatencyChunks = 4
+	}
+	if p.EdgeTimeout <= 0 {
+		p.EdgeTimeout = 30 * chunk
+		if p.EdgeTimeout <= 0 {
+			p.EdgeTimeout = 30 * time.Second
+		}
+	}
+	return p
+}
+
+// liveSyncResult is what one edge synchronisation resolves to.
+type liveSyncResult struct {
+	m     *manifest.Video
+	k     int
+	ended bool
+}
+
+// liveEdgeSync blocks until chunk k is streamable against a live
+// manifest: it skips forward when k fell out of the availability window
+// or too far behind the edge, and while k is AT the edge it polls the
+// manifest — the client never schedules a fetch past the edge, the
+// refresh is how it learns the edge moved. Waiting drains the playout
+// buffer like real playback would; once the buffer runs dry the
+// remainder of the wait is a stall (counted as rebuffering, bounded by
+// pol.EdgeTimeout + the skip policy rather than unbounded).
+//
+// Only ctx cancellation returns an error; a dead feed or an
+// out-of-reach manifest ends the session cleanly (ended=true), never
+// aborts it.
+func liveEdgeSync(ctx context.Context, tp Transport, clk Clock, m *manifest.Video, k int,
+	pol LivePolicy, buffer *float64, res *StreamResult, reg *obs.Registry,
+	rebufTotal *obs.Counter, sess *slog.Logger) (liveSyncResult, error) {
+
+	var waited time.Duration
+	blocked := false
+	for {
+		// Behind the availability window: the origin would answer 410 for
+		// every tile of k. Skip to the window start (at minimum).
+		if k < m.FirstChunk {
+			res.LiveSkippedChunks += m.FirstChunk - k
+			reg.Counter("pano_client_live_skips_total",
+				"chunks skipped by the live catch-up policy").Add(float64(m.FirstChunk - k))
+			sess.Info("live_skip", "reason", "window_expired", "from", k, "to", m.FirstChunk)
+			k = m.FirstChunk
+		}
+		if edge := m.NumChunks(); k < edge {
+			// Too far behind the edge: skip to the newest published chunk
+			// instead of draining a backlog that keeps growing.
+			if edge-k > pol.MaxLatencyChunks {
+				to := edge - 1
+				res.LiveSkippedChunks += to - k
+				reg.Counter("pano_client_live_skips_total",
+					"chunks skipped by the live catch-up policy").Add(float64(to - k))
+				sess.Info("live_skip", "reason", "latency", "from", k, "to", to)
+				k = to
+			}
+			return liveSyncResult{m: m, k: k}, nil
+		}
+		if !m.Live {
+			// Feed ended and k is past the final chunk: end of session.
+			return liveSyncResult{m: m, k: k, ended: true}, nil
+		}
+		if waited >= pol.EdgeTimeout {
+			sess.Warn("live_edge_timeout", "chunk", k, "waited_sec", waited.Seconds())
+			reg.Counter("pano_client_live_edge_timeouts_total",
+				"sessions that gave up waiting for the live edge to move").Inc()
+			return liveSyncResult{m: m, k: k, ended: true}, nil
+		}
+		if !blocked {
+			blocked = true
+			res.LiveEdgeWaits++
+		}
+		d := pol.PollInterval
+		if err := clk.Sleep(ctx, d); err != nil {
+			return liveSyncResult{}, err
+		}
+		waited += d
+		res.LiveEdgeWaitSec += d.Seconds()
+		reg.Counter("pano_client_live_edge_wait_seconds_total",
+			"seconds spent blocked at the live edge").Add(d.Seconds())
+		// Playback continues while we wait: drain the buffer, and count
+		// the dry remainder as a stall.
+		ds := d.Seconds()
+		if *buffer >= ds {
+			*buffer -= ds
+		} else {
+			stall := ds - *buffer
+			*buffer = 0
+			res.RebufferSec += stall
+			rebufTotal.Add(stall)
+		}
+		m2, err := tp.Manifest(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return liveSyncResult{}, ctx.Err()
+			}
+			// Transient refresh failure: keep the old manifest, retry
+			// until EdgeTimeout. Refresh errors never abort a session.
+			sess.Debug("live_refresh_error", "error", err.Error())
+			continue
+		}
+		// Monotonicity: never adopt a refresh whose edge or sequence went
+		// backwards (e.g. a lagging origin behind a different edge cache).
+		if m2.NumChunks() >= m.NumChunks() && m2.Seq >= m.Seq {
+			if m2.NumChunks() > m.NumChunks() {
+				waited = 0 // the edge moved; restart the death watch
+			}
+			m = m2
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package client
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"pano/internal/codec"
+	"pano/internal/manifest"
+)
+
+// scriptedTransport serves a scripted sequence of manifest refreshes —
+// each Manifest call returns the next entry (sticking at the last) —
+// and answers every tile instantly at its manifest size. It is the
+// deterministic stand-in for an origin whose live edge moves.
+type scriptedTransport struct {
+	full *manifest.Video // sizes for Tile, regardless of script position
+
+	mu     sync.Mutex
+	script []*manifest.Video
+	idx    int
+	calls  int
+}
+
+func (f *scriptedTransport) Target() string { return "fake://live" }
+
+func (f *scriptedTransport) Manifest(ctx context.Context) (*manifest.Video, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := f.script[f.idx]
+	if f.idx < len(f.script)-1 {
+		f.idx++
+	}
+	f.calls++
+	return m, nil
+}
+
+func (f *scriptedTransport) Tile(ctx context.Context, k, ti int, l codec.Level) (float64, error) {
+	return f.full.Chunks[k].Tiles[ti].Bits[l], nil
+}
+
+// liveCopy returns a live manifest holding the first n chunks of m.
+func liveCopy(m *manifest.Video, n int, seq int64, stillLive bool) *manifest.Video {
+	c := *m
+	c.Chunks = m.Chunks[:n]
+	c.Live = stillLive
+	c.Seq = seq
+	return &c
+}
+
+func livePolicy() LivePolicy {
+	return LivePolicy{PollInterval: time.Millisecond, EdgeTimeout: 5 * time.Second}
+}
+
+// TestLiveSessionFollowsEdge: a session blocked at the edge resumes when
+// a refresh grows the manifest, refuses to adopt a backwards refresh (a
+// lagging origin), and ends cleanly when the feed clears Live.
+func TestLiveSessionFollowsEdge(t *testing.T) {
+	full := fixture(t).man
+	tp := &scriptedTransport{full: full, script: []*manifest.Video{
+		liveCopy(full, 1, 1, true),
+		liveCopy(full, 2, 2, true),
+		liveCopy(full, 1, 1, true), // lagging origin: edge went backwards
+		liveCopy(full, 3, 3, false),
+	}}
+	res, err := RunSession(context.Background(), tp, fixture(t).tr, StreamConfig{
+		Live: livePolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) != 3 {
+		t.Fatalf("streamed %d chunks, want 3", len(res.Chunks))
+	}
+	for i, cr := range res.Chunks {
+		if cr.Chunk != i {
+			t.Fatalf("chunk %d streamed out of order as %d", i, cr.Chunk)
+		}
+	}
+	if res.LiveEdgeWaits == 0 {
+		t.Fatal("session never blocked at the edge despite a growing manifest")
+	}
+	if res.LiveLatencyMaxSec <= 0 {
+		t.Fatal("live latency never sampled")
+	}
+}
+
+// TestLiveSessionSkipsExpiredWindow: when the availability window slides
+// past the playhead, the session skips to the window start (the
+// chunk-level answer to 410 Gone) instead of fetching retired tiles.
+func TestLiveSessionSkipsExpiredWindow(t *testing.T) {
+	full := fixture(t).man
+	slid := liveCopy(full, 3, 2, false)
+	slid.FirstChunk = 2
+	tp := &scriptedTransport{full: full, script: []*manifest.Video{
+		liveCopy(full, 1, 1, true),
+		slid,
+	}}
+	res, err := RunSession(context.Background(), tp, fixture(t).tr, StreamConfig{
+		Live: livePolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveSkippedChunks != 1 {
+		t.Fatalf("LiveSkippedChunks = %d, want 1", res.LiveSkippedChunks)
+	}
+	want := []int{0, 2}
+	if len(res.Chunks) != len(want) {
+		t.Fatalf("streamed %d chunks, want %d", len(res.Chunks), len(want))
+	}
+	for i, cr := range res.Chunks {
+		if cr.Chunk != want[i] {
+			t.Fatalf("streamed chunk %d at position %d, want %d", cr.Chunk, i, want[i])
+		}
+	}
+}
+
+// TestLiveSessionSkipsToEdgeWhenBehind: a refresh that jumps far ahead
+// triggers the skip-to-edge latency policy.
+func TestLiveSessionSkipsToEdgeWhenBehind(t *testing.T) {
+	full := fixture(t).man
+	tp := &scriptedTransport{full: full, script: []*manifest.Video{
+		liveCopy(full, 1, 1, true),
+		liveCopy(full, 3, 2, false),
+	}}
+	pol := livePolicy()
+	pol.MaxLatencyChunks = 1
+	res, err := RunSession(context.Background(), tp, fixture(t).tr, StreamConfig{Live: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After chunk 0 the refresh shows edge 3: 2 chunks behind > 1, so the
+	// session skips chunk 1 and plays 2 (the newest published).
+	want := []int{0, 2}
+	if len(res.Chunks) != len(want) || res.Chunks[1].Chunk != 2 {
+		t.Fatalf("streamed %v, want chunks %v", res.Chunks, want)
+	}
+	if res.LiveSkippedChunks != 1 {
+		t.Fatalf("LiveSkippedChunks = %d, want 1", res.LiveSkippedChunks)
+	}
+}
+
+// TestLiveSessionEdgeTimeoutEndsCleanly: a feed that dies (manifest
+// stops growing, Live never clears) ends the session without an error —
+// a late or dead publisher must never abort clients.
+func TestLiveSessionEdgeTimeoutEndsCleanly(t *testing.T) {
+	full := fixture(t).man
+	tp := &scriptedTransport{full: full, script: []*manifest.Video{
+		liveCopy(full, 1, 1, true),
+	}}
+	res, err := RunSession(context.Background(), tp, fixture(t).tr, StreamConfig{
+		Live: LivePolicy{PollInterval: time.Millisecond, EdgeTimeout: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("dead feed aborted the session: %v", err)
+	}
+	if len(res.Chunks) != 1 {
+		t.Fatalf("streamed %d chunks, want the 1 published", len(res.Chunks))
+	}
+	if res.LiveEdgeWaitSec <= 0 {
+		t.Fatal("no edge wait recorded before timing out")
+	}
+}
+
+// TestLiveSessionMaxChunks: MaxChunks bounds a live session exactly like
+// a VOD one.
+func TestLiveSessionMaxChunks(t *testing.T) {
+	full := fixture(t).man
+	tp := &scriptedTransport{full: full, script: []*manifest.Video{
+		liveCopy(full, 3, 1, true),
+	}}
+	res, err := RunSession(context.Background(), tp, fixture(t).tr, StreamConfig{
+		MaxChunks: 1, Live: livePolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) != 1 {
+		t.Fatalf("streamed %d chunks, want 1", len(res.Chunks))
+	}
+}

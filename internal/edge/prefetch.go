@@ -128,6 +128,17 @@ func (p *prefetcher) observe(path string) {
 	}
 	next := k + 1
 	if next >= m.NumChunks() {
+		// Never warm past the learned manifest's last chunk. For a live
+		// manifest that boundary is the moving edge: k+1 is simply not
+		// published yet, and prefetching it would 404 at the origin and
+		// poison the cache with a negative entry for NegTTL.
+		if m.Live {
+			p.e.prefetchCount("live_edge")
+		}
+		return
+	}
+	if next < m.FirstChunk {
+		// Below the availability window: the origin would answer 410.
 		return
 	}
 	lv := d.majorityLevel(l)

@@ -493,6 +493,17 @@ func (e *Edge) fill(ctx context.Context, path, endpoint string, stale *Entry, st
 		if res.Status != http.StatusOK {
 			ttl = e.cfg.NegTTL // negative caching
 		}
+		if path == "/manifest.json" && res.Status == http.StatusOK {
+			// Learn before inserting so the TTL decision can see a live
+			// manifest: a live head cached for the full positive TTL would
+			// freeze the edge for every client behind this cache. Clamp it
+			// to half a chunk, the origin's own live refresh cadence.
+			if m := e.learnManifest(res.Body); m != nil && m.Live {
+				if lt := time.Duration(m.ChunkSec / 2 * float64(time.Second)); lt > 0 && lt < ttl {
+					ttl = lt
+				}
+			}
+		}
 		evicted := e.cache.Put(ent, now, ttl)
 		if evicted > 0 {
 			e.evictCt.Add(float64(evicted))
@@ -504,23 +515,28 @@ func (e *Edge) fill(ctx context.Context, path, endpoint string, stale *Entry, st
 		e.log.Logger().Debug("edge_fill",
 			"path", path, "status", res.Status, "bytes", len(res.Body),
 			"seconds", time.Since(t0).Seconds())
-		if path == "/manifest.json" && res.Status == http.StatusOK {
-			e.learnManifest(res.Body)
-		}
 		return &fillResult{entry: ent}
 	})
 }
 
 // learnManifest decodes a manifest passing through the cache so the
-// prefetcher knows the video's chunk/tile geometry.
-func (e *Edge) learnManifest(body []byte) {
+// prefetcher knows the video's chunk/tile geometry (and, for a live
+// feed, where the edge currently is). Returns the adopted manifest, or
+// nil when the body didn't validate or was older than what is held
+// (live refreshes may race through concurrent fills; chunk count and
+// Seq never go backwards).
+func (e *Edge) learnManifest(body []byte) *manifest.Video {
 	m, err := manifest.Decode(bytes.NewReader(body))
 	if err != nil || m.Validate() != nil {
-		return
+		return nil
+	}
+	if old := e.man.Load(); old != nil && (m.NumChunks() < old.NumChunks() || m.Seq < old.Seq) {
+		return nil
 	}
 	e.man.Store(m)
 	e.reg.Gauge("pano_edge_manifest_chunks", "chunks in the learned origin manifest").
 		Set(float64(m.NumChunks()))
+	return m
 }
 
 // passthrough forwards one request verbatim and replays the origin's

@@ -48,6 +48,7 @@ var registry = map[string]Runner{
 	"fleet":     tableOnly3(FleetBench),
 	"telemetry": tableOnly3(TelemetryBench),
 	"cluster":   tableOnly3(ClusterBench),
+	"live":      tableOnly3(LiveBench),
 	"tab2": func(d *Dataset) (*Table, error) {
 		return Table2(d), nil
 	},

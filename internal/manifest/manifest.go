@@ -100,10 +100,39 @@ type Video struct {
 	FPS      int     `json:"fps"`
 	ChunkSec float64 `json:"chunkSec"`
 	Chunks   []Chunk `json:"chunks"`
+
+	// Live marks a manifest still being produced: Chunks holds every
+	// chunk published so far (the live edge is NumChunks()) and clients
+	// must refresh to see more. The final publish of a feed clears Live,
+	// which is the end-of-stream signal. All live fields are omitempty so
+	// a VOD manifest's JSON encoding is unchanged byte for byte.
+	Live bool `json:"live,omitempty"`
+	// Seq increments on every live publish; together with the content
+	// ETag it orders manifest refreshes (a client never adopts a refresh
+	// whose Seq went backwards, e.g. from a lagging origin).
+	Seq int64 `json:"seq,omitempty"`
+	// FirstChunk is the availability-window start: chunks below it have
+	// been retired from storage and requests for their tiles answer
+	// 410 Gone. Chunk metadata is retained so indices stay absolute.
+	FirstChunk int `json:"firstChunk,omitempty"`
+	// WindowChunks is the configured availability window in chunks
+	// (0 = unbounded; FirstChunk then never advances).
+	WindowChunks int `json:"windowChunks,omitempty"`
 }
 
 // NumChunks returns the number of chunks.
 func (v *Video) NumChunks() int { return len(v.Chunks) }
+
+// LiveEdge returns the index of the first not-yet-published chunk. For
+// a VOD manifest this is simply the chunk count.
+func (v *Video) LiveEdge() int { return len(v.Chunks) }
+
+// ChunkAvailable reports whether chunk k is published and still inside
+// the availability window (below-window chunks answer 410 Gone, at-or-
+// past-edge chunks 404 until published).
+func (v *Video) ChunkAvailable(k int) bool {
+	return k >= v.FirstChunk && k < len(v.Chunks)
+}
 
 // DurationSec returns the video duration in seconds.
 func (v *Video) DurationSec() float64 { return float64(len(v.Chunks)) * v.ChunkSec }
@@ -126,6 +155,12 @@ func (v *Video) ChunkBits(k int, l codec.Level) float64 {
 func (v *Video) Validate() error {
 	if v.W <= 0 || v.H <= 0 || v.FPS <= 0 || v.ChunkSec <= 0 {
 		return fmt.Errorf("manifest: bad video header %dx%d@%d/%vs", v.W, v.H, v.FPS, v.ChunkSec)
+	}
+	if v.FirstChunk < 0 || v.FirstChunk > len(v.Chunks) {
+		return fmt.Errorf("manifest: availability window start %d outside [0,%d]", v.FirstChunk, len(v.Chunks))
+	}
+	if v.Seq < 0 || v.WindowChunks < 0 {
+		return fmt.Errorf("manifest: negative live field (seq %d, window %d)", v.Seq, v.WindowChunks)
 	}
 	for _, c := range v.Chunks {
 		area := 0

@@ -179,3 +179,68 @@ func TestTableSizesCompressionRatio(t *testing.T) {
 		t.Errorf("power table = %d bytes, expected ≪ full", power)
 	}
 }
+
+func TestLiveFieldsRoundTrip(t *testing.T) {
+	v := sampleVideo()
+	v.Live = true
+	v.Seq = 42
+	v.FirstChunk = 1
+	v.WindowChunks = 8
+	v.Chunks = append(v.Chunks, v.Chunks[0])
+	v.Chunks[1].Index = 1
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := v.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Live || back.Seq != 42 || back.FirstChunk != 1 || back.WindowChunks != 8 {
+		t.Fatalf("live fields lost in round trip: %+v", back)
+	}
+	if back.LiveEdge() != 2 {
+		t.Fatalf("LiveEdge = %d, want 2", back.LiveEdge())
+	}
+	if back.ChunkAvailable(0) || !back.ChunkAvailable(1) || back.ChunkAvailable(2) {
+		t.Fatal("ChunkAvailable window wrong")
+	}
+}
+
+// TestVODEncodingUnchangedByLiveFields: a VOD manifest's JSON must be
+// byte-identical to the pre-live schema — every live field is omitempty,
+// so ETags (content hashes of these bytes) are stable across the
+// upgrade.
+func TestVODEncodingUnchangedByLiveFields(t *testing.T) {
+	v := sampleVideo()
+	var buf bytes.Buffer
+	if err := v.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"live", "seq", "firstChunk", "windowChunks"} {
+		if bytes.Contains(buf.Bytes(), []byte(`"`+field+`"`)) {
+			t.Errorf("VOD encoding leaks live field %q", field)
+		}
+	}
+}
+
+func TestValidateRejectsBadLiveFields(t *testing.T) {
+	v := sampleVideo()
+	v.FirstChunk = 5 // past the edge
+	if err := v.Validate(); err == nil {
+		t.Error("window start past edge should fail")
+	}
+	v = sampleVideo()
+	v.Seq = -1
+	if err := v.Validate(); err == nil {
+		t.Error("negative seq should fail")
+	}
+	v = sampleVideo()
+	v.WindowChunks = -2
+	if err := v.Validate(); err == nil {
+		t.Error("negative window should fail")
+	}
+}

@@ -46,6 +46,42 @@
 //	    endpoint and kind (error, abort, truncate, stall, latency,
 //	    throttle).
 //
+// The live-streaming subsystem (internal/live publishing into
+// internal/store, consumed by the client's live session loop) adds:
+//
+//	pano_live_published_chunks_total / pano_live_edge_chunk / pano_live_seq
+//	    the moving live edge: chunks published, the current edge index,
+//	    and the catalog head sequence (monotonic, rotates the ETag).
+//	pano_live_deadline_misses_total / pano_live_degraded_publishes_total
+//	    chunks published after their per-chunk deadline, and chunks the
+//	    encode-time forecast dropped to the degraded uniform rung.
+//	pano_live_encode_seconds / pano_live_publish_latency_seconds
+//	    per-chunk JND/tiling encode time and capture→publish latency.
+//	pano_live_expired_chunks_total
+//	    chunks retired from the availability window (their tiles leave
+//	    the catalog; blobs follow at the GC retention horizon).
+//	pano_store_puts_total / pano_store_put_bytes_total / pano_store_dedup_total
+//	    content-addressed blob writes, their bytes, and writes that
+//	    deduplicated against an existing digest.
+//	pano_store_blobs / pano_store_bytes / pano_store_gets_total
+//	    resident blob count/bytes and reads.
+//	pano_store_gc_runs_total / pano_store_gc_removed_total / pano_store_gc_reclaimed_bytes_total
+//	    ref-counted GC activity past the retention horizon.
+//	pano_store_recovered_tmp_total / pano_store_corrupt_blobs_total
+//	    crash scrubbing at Open: abandoned tmp files removed and blobs
+//	    whose payload no longer matches their digest (torn writes).
+//	pano_store_catalog_writes_total
+//	    atomic catalog-head replacements.
+//	pano_client_live_edge_wait_seconds_total / pano_client_live_edge_timeouts_total
+//	    time sessions spent blocked at the live edge polling for the
+//	    manifest to grow, and sessions that gave up on a dead feed
+//	    (ending cleanly, never aborting).
+//	pano_client_live_skips_total / pano_client_live_latency_sec
+//	    chunks skipped by the low-latency policy (window expiry or
+//	    skip-to-edge) and the session's current edge latency; the edge
+//	    proxy's refusal to prefetch past the edge shows up as
+//	    pano_edge_prefetch_total{result="live_edge"}.
+//
 // The companion span tracer (internal/trace, same nil-is-off
 // contract) shares this taxonomy: where a metric aggregates, a span
 // tree shows one session's actual timeline. Span names map to the

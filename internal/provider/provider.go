@@ -176,6 +176,32 @@ func Preprocess(v *scene.Video, history []*viewport.Trace, cfg Config) (*manifes
 	return out, nil
 }
 
+// ChunkAt preprocesses a single chunk — the just-in-time entry point
+// internal/live's encode stage uses, where whole-video Preprocess would
+// blow the per-chunk publish deadline. It runs exactly the kernels
+// Preprocess runs for chunk k, so a live-published chunk is
+// bit-identical to its VOD counterpart under the same Config.
+func ChunkAt(v *scene.Video, history []*viewport.Trace, cfg Config, k int) (manifest.Chunk, error) {
+	cfg.fillDefaults()
+	if err := v.Validate(); err != nil {
+		return manifest.Chunk{}, err
+	}
+	if v.W%tiling.UnitCols != 0 || v.H%tiling.UnitRows != 0 {
+		return manifest.Chunk{}, fmt.Errorf("provider: video %dx%d not divisible by unit grid %dx%d",
+			v.W, v.H, tiling.UnitCols, tiling.UnitRows)
+	}
+	numChunks := int(float64(v.DurationSec) / cfg.ChunkSec)
+	if k < 0 || k >= numChunks {
+		return manifest.Chunk{}, fmt.Errorf("provider: chunk %d out of range [0,%d)", k, numChunks)
+	}
+	p := &preprocessor{cfg: cfg, video: v, history: history}
+	ch, err := p.chunk(k)
+	if err != nil {
+		return manifest.Chunk{}, fmt.Errorf("provider: chunk %d: %w", k, err)
+	}
+	return ch, nil
+}
+
 type preprocessor struct {
 	cfg     Config
 	video   *scene.Video

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pano/internal/codec"
+	"pano/internal/manifest"
+)
+
+// Backend supplies manifest and tile objects dynamically, for servers
+// whose content changes underneath them — internal/store's Backend
+// reads a shared content-addressed store that a live publisher appends
+// to, which is what makes N origins stateless front-ends over one
+// directory. The static server.New path never consults a Backend and
+// is byte-identical with or without this file.
+type Backend interface {
+	// Manifest returns the current manifest, its exact wire encoding,
+	// and the ETag of those bytes. Implementations refresh on change;
+	// every origin over the same store returns identical bytes and tags.
+	Manifest() (*manifest.Video, []byte, string, error)
+	// TileStat resolves a tile's size and strong ETag without producing
+	// the payload (the 304 path). It returns ErrObjectNotFound for
+	// not-yet-published objects and ErrObjectGone for objects retired
+	// from the availability window.
+	TileStat(k, ti int, l codec.Level) (TileStat, error)
+	// TileData returns the tile's payload bytes.
+	TileData(k, ti int, l codec.Level) ([]byte, error)
+}
+
+// TileStat is a tile object's serving metadata.
+type TileStat struct {
+	Size int
+	ETag string
+}
+
+// ErrObjectNotFound maps to 404: the object is not (yet) published.
+var ErrObjectNotFound = errors.New("server: object not found")
+
+// ErrObjectGone maps to 410: the object was published and has been
+// retired from the availability window — it is never coming back, which
+// downstream caches may negative-cache harder than a 404.
+var ErrObjectGone = errors.New("server: object gone")
+
+// NewBackend returns a server that serves manifest and tiles through b
+// instead of from process memory. The initial snapshot is validated
+// once; later refreshes are trusted to come from a publisher that
+// validated before publishing.
+func NewBackend(b Backend, opts ...Option) (*Server, error) {
+	man, body, etag, err := b.Manifest()
+	if err != nil {
+		return nil, fmt.Errorf("server: backend: %w", err)
+	}
+	if err := man.Validate(); err != nil {
+		return nil, fmt.Errorf("server: backend: %w", err)
+	}
+	s := &Server{man: man, backend: b, maxAge: 60 * time.Second}
+	for _, o := range opts {
+		o(s)
+	}
+	s.manJSON = body
+	s.manETag = etag
+	s.lastMod = time.Now().UTC().Truncate(time.Second)
+	if s.reg != nil {
+		s.reg.Gauge("pano_video_chunks", "chunks in the served manifest").Set(float64(man.NumChunks()))
+		if man.NumChunks() > 0 {
+			s.reg.Gauge("pano_video_tiles_per_chunk", "tiles per chunk in the served manifest").
+				Set(float64(len(man.Chunks[0].Tiles)))
+		}
+	}
+	return s, nil
+}
+
+// liveManifestMaxAge shortens the manifest's advertised freshness while
+// a feed is live: a manifest cached for the VOD default (60 s) would
+// hide half a minute of published chunks from every client behind an
+// edge. Half a chunk duration keeps refresh latency under one chunk
+// without hammering the origin; immutable tiles keep the full TTL.
+func liveManifestMaxAge(chunkSec float64, def time.Duration) time.Duration {
+	d := time.Duration(chunkSec * float64(time.Second) / 2)
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	if d > def {
+		d = def
+	}
+	return d
+}
+
+// handleTileBackend is handleTile's dynamic path: existence, size, and
+// ETag come from the backend, with 404/410 distinguishing unpublished
+// from retired objects.
+func (s *Server) handleTileBackend(w http.ResponseWriter, r *http.Request, k, ti int, l codec.Level) {
+	st, err := s.backend.TileStat(k, ti, l)
+	switch {
+	case errors.Is(err, ErrObjectGone):
+		http.Error(w, "tile retired from availability window", http.StatusGone)
+		return
+	case errors.Is(err, ErrObjectNotFound):
+		http.NotFound(w, r)
+		return
+	case err != nil:
+		http.Error(w, "server: backend: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.cacheHeaders(w, st.ETag, s.maxAge)
+	if etagMatch(r.Header.Get("If-None-Match"), st.ETag) {
+		// 304 from the stat alone: the blob is never read.
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(maxInt(st.Size, 16)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	body, err := s.backend.TileData(k, ti, l)
+	if err != nil {
+		// Headers are already written; surface the truncation server-side.
+		s.writeError("tile", err)
+		return
+	}
+	if _, err := w.Write(body); err != nil {
+		s.writeError("tile", err)
+	}
+}

@@ -35,6 +35,12 @@ type Server struct {
 	tracer *trace.Tracer
 	tel    *telemetry.Sampler
 
+	// backend, when set (NewBackend), overrides the static in-memory
+	// serving path: manifest and tiles come from it on every request,
+	// so a live publisher's appends become visible without restarting.
+	// nil for servers built with New — that path is untouched.
+	backend Backend
+
 	// Cache-validation state: the manifest is encoded once at New so
 	// every response is byte-identical and its ETag is a true content
 	// hash; tiles get a derived ETag (payloads are pure functions of
@@ -278,7 +284,16 @@ func (s *Server) handleMPD(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodHead {
 		return
 	}
-	if err := s.man.MPD().Encode(w); err != nil {
+	man := s.man
+	if s.backend != nil {
+		bm, _, _, err := s.backend.Manifest()
+		if err != nil {
+			s.writeError("mpd", err)
+			return
+		}
+		man = bm
+	}
+	if err := man.MPD().Encode(w); err != nil {
 		s.writeError("mpd", err)
 	}
 }
@@ -287,10 +302,10 @@ func (s *Server) handleMPD(w http.ResponseWriter, r *http.Request) {
 // ETag, an explicit freshness lifetime, and Last-Modified (§7: the
 // manifest and tile objects are ordinary HTTP objects, so any DASH-
 // compatible cache can hold them).
-func (s *Server) cacheHeaders(w http.ResponseWriter, etag string) {
+func (s *Server) cacheHeaders(w http.ResponseWriter, etag string, maxAge time.Duration) {
 	h := w.Header()
 	h.Set("ETag", etag)
-	h.Set("Cache-Control", fmt.Sprintf("max-age=%d", int(s.maxAge.Seconds())))
+	h.Set("Cache-Control", fmt.Sprintf("max-age=%d", int(maxAge.Seconds())))
 	h.Set("Last-Modified", s.lastMod.Format(http.TimeFormat))
 }
 
@@ -315,17 +330,31 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 	if !allowGetHead(w, r) {
 		return
 	}
-	s.cacheHeaders(w, s.manETag)
-	if etagMatch(r.Header.Get("If-None-Match"), s.manETag) {
+	body, etag, maxAge := s.manJSON, s.manETag, s.maxAge
+	if s.backend != nil {
+		man, b, e, err := s.backend.Manifest()
+		if err != nil {
+			http.Error(w, "server: backend: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		body, etag = b, e
+		if man.Live {
+			// A live manifest changes every publish; don't let caches
+			// hold it for the VOD lifetime.
+			maxAge = liveManifestMaxAge(man.ChunkSec, s.maxAge)
+		}
+	}
+	s.cacheHeaders(w, etag, maxAge)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Content-Length", strconv.Itoa(len(s.manJSON)))
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	if r.Method == http.MethodHead {
 		return
 	}
-	if _, err := w.Write(s.manJSON); err != nil {
+	if _, err := w.Write(body); err != nil {
 		// Too late for a status code: the client sees a truncated body.
 		// Count and log it so silent manifest truncation is visible.
 		s.writeError("manifest", err)
@@ -416,18 +445,26 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if k < 0 || k >= s.man.NumChunks() || !l.Valid() {
+	if k < 0 || ti < 0 || !l.Valid() {
+		http.NotFound(w, r)
+		return
+	}
+	if s.backend != nil {
+		s.handleTileBackend(w, r, k, ti, l)
+		return
+	}
+	if k >= s.man.NumChunks() {
 		http.NotFound(w, r)
 		return
 	}
 	tiles := s.man.Chunks[k].Tiles
-	if ti < 0 || ti >= len(tiles) {
+	if ti >= len(tiles) {
 		http.NotFound(w, r)
 		return
 	}
 	size := TileSizeBytes(&tiles[ti], l)
 	etag := TileETag(k, ti, l, size)
-	s.cacheHeaders(w, etag)
+	s.cacheHeaders(w, etag, s.maxAge)
 	if etagMatch(r.Header.Get("If-None-Match"), etag) {
 		// 304 before generating the payload: revalidation is the cheap
 		// path by construction.

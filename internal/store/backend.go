@@ -1,0 +1,174 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"pano/internal/codec"
+	"pano/internal/manifest"
+	"pano/internal/server"
+)
+
+// Backend adapts a Store to internal/server's dynamic Backend
+// interface: any number of origin processes can open the same store
+// directory and serve identical bytes with identical ETags, because
+// everything they answer — manifest body, tile payloads, tags — is a
+// pure function of store content. The catalog head is stat-polled and
+// reloaded on change, so a live publisher's appends become visible
+// within one request.
+type Backend struct {
+	s *Store
+
+	mu      sync.Mutex
+	cat     *Catalog
+	man     *manifest.Video
+	manJSON []byte
+	manETag string
+	stamp   catalogStamp
+}
+
+// catalogStamp identifies a loaded catalog version by its file
+// metadata; rename-replacement always changes it.
+type catalogStamp struct {
+	mod  time.Time
+	size int64
+}
+
+var _ server.Backend = (*Backend)(nil)
+
+// NewBackend opens a serving view over the store. It fails if nothing
+// has been published yet (no catalog head).
+func NewBackend(s *Store) (*Backend, error) {
+	b := &Backend{s: s}
+	if err := b.reload(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// reload reads the catalog head and the manifest blob it names.
+// Caller must not hold b.mu.
+func (b *Backend) reload() error {
+	info, err := os.Stat(b.s.CatalogPath())
+	if err != nil {
+		return fmt.Errorf("store: backend: %w", err)
+	}
+	cat, err := b.s.ReadCatalog()
+	if err != nil {
+		return err
+	}
+	manJSON, err := b.s.Get(cat.Manifest)
+	if err != nil {
+		return fmt.Errorf("store: backend: manifest blob: %w", err)
+	}
+	man, err := manifest.Decode(bytes.NewReader(manJSON))
+	if err != nil {
+		return fmt.Errorf("store: backend: %w", err)
+	}
+	b.mu.Lock()
+	// Never adopt an older head than the one already loaded (a racing
+	// stat could observe the file mid-replacement sequence).
+	if b.cat == nil || cat.Seq >= b.cat.Seq {
+		b.cat, b.man, b.manJSON = cat, man, manJSON
+		// The manifest ETag is the same function of the wire bytes the
+		// static server uses (sha256[:8]): the blob digest IS that hash,
+		// so the tag falls out of the address.
+		b.manETag = `"` + cat.Manifest[:16] + `"`
+		b.stamp = catalogStamp{mod: info.ModTime(), size: info.Size()}
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// refresh reloads the catalog iff its file stamp changed (or force).
+func (b *Backend) refresh(force bool) error {
+	if !force {
+		info, err := os.Stat(b.s.CatalogPath())
+		if err != nil {
+			return fmt.Errorf("store: backend: %w", err)
+		}
+		b.mu.Lock()
+		unchanged := b.cat != nil && b.stamp.mod.Equal(info.ModTime()) && b.stamp.size == info.Size()
+		b.mu.Unlock()
+		if unchanged {
+			return nil
+		}
+	}
+	return b.reload()
+}
+
+// Manifest implements server.Backend.
+func (b *Backend) Manifest() (*manifest.Video, []byte, string, error) {
+	if err := b.refresh(false); err != nil {
+		return nil, nil, "", err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.man, b.manJSON, b.manETag, nil
+}
+
+// TileStat implements server.Backend. The ETag is the same pure
+// function of (chunk, tile, level, size) the static server derives, so
+// a client moving between a static origin and a store origin — or
+// between two store origins — revalidates with a single 304.
+func (b *Backend) TileStat(k, ti int, l codec.Level) (server.TileStat, error) {
+	ref, err := b.lookup(k, ti, l)
+	if err != nil {
+		return server.TileStat{}, err
+	}
+	return server.TileStat{Size: ref.Size, ETag: server.TileETag(k, ti, l, ref.Size)}, nil
+}
+
+// TileData implements server.Backend.
+func (b *Backend) TileData(k, ti int, l codec.Level) ([]byte, error) {
+	ref, err := b.lookup(k, ti, l)
+	if err != nil {
+		return nil, err
+	}
+	data, err := b.s.Get(ref.Digest)
+	if err != nil {
+		// Catalog references a GC'd blob: the retention horizon was
+		// shorter than this origin's refresh lag. Resolve as retired.
+		return nil, server.ErrObjectGone
+	}
+	return data, nil
+}
+
+// lookup resolves a tile path against the catalog, force-reloading once
+// before answering 404 so an origin with a stale head never 404s a tile
+// that a fresher catalog already names (the edge would negative-cache
+// that miss for NegTTL).
+func (b *Backend) lookup(k, ti int, l codec.Level) (TileRef, error) {
+	if err := b.refresh(false); err != nil {
+		return TileRef{}, err
+	}
+	path := server.TilePath(k, ti, l)
+	b.mu.Lock()
+	ref, ok := b.cat.Tiles[path]
+	first := b.cat.FirstChunk
+	b.mu.Unlock()
+	if ok {
+		return ref, nil
+	}
+	if k < first {
+		return TileRef{}, server.ErrObjectGone
+	}
+	if err := b.refresh(true); err != nil {
+		return TileRef{}, err
+	}
+	b.mu.Lock()
+	ref, ok = b.cat.Tiles[path]
+	first = b.cat.FirstChunk
+	b.mu.Unlock()
+	switch {
+	case ok:
+		return ref, nil
+	case k < first:
+		return TileRef{}, server.ErrObjectGone
+	default:
+		return TileRef{}, server.ErrObjectNotFound
+	}
+}
